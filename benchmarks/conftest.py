@@ -1,0 +1,23 @@
+"""Shared benchmark harness: run an experiment once, print its table.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation over the full 58-application suite. Simulation results are
+memoised inside :mod:`repro.sim`, so the suite is executed once per
+configuration and shared by all benchmark files in the session.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_and_print(benchmark):
+    """Benchmark one experiment driver and print its table."""
+
+    def runner(driver, *args, **kwargs):
+        result = benchmark.pedantic(driver, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        print()
+        print(result.to_text())
+        return result
+
+    return runner

@@ -1,0 +1,31 @@
+"""Benches for the ablation studies on the design knobs the paper fixes
+(static ISA mask, pivot lane 21, BVF coders vs bus-invert)."""
+
+from repro.experiments import (ablation_bus_invert, ablation_isa_mask,
+                               ablation_pivot_lane)
+
+
+def test_ablation_isa_mask(run_and_print):
+    result = run_and_print(ablation_isa_mask)
+    s = result.summary
+    assert s["static_one_fraction"] > s["base_one_fraction"] + 0.3
+    # The paper's trade-off: per-app dynamic masks buy little extra.
+    assert s["dynamic_extra_gain"] < 0.10
+
+
+def test_ablation_pivot_lane(run_and_print):
+    result = run_and_print(ablation_pivot_lane)
+    s = result.summary
+    # Any fixed middle lane beats lane 0, prior work's default.
+    middle_best = min(s["lane16_mean_excess"], s["lane21_mean_excess"],
+                      s["lane24_mean_excess"])
+    assert s["lane0_mean_excess"] >= middle_best
+    assert s["aggregate_best_lane"] not in (0.0, 31.0)
+
+
+def test_ablation_bus_invert(run_and_print):
+    result = run_and_print(ablation_bus_invert)
+    s = result.summary
+    assert s["businvert_toggles"] < s["raw_toggles"]
+    assert s["bvf_one_fraction"] > 0.6
+    assert s["businvert_one_fraction"] < 0.6

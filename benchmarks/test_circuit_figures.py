@@ -1,0 +1,32 @@
+"""Benches for the circuit-level results: Figures 1, 5, 6 and the
+Section 3.1 leakage table."""
+
+from repro.experiments import (fig01_power_efficiency,
+                               fig05_06_access_energy, leakage_asymmetry)
+
+
+def test_fig01_power_efficiency(run_and_print):
+    result = run_and_print(fig01_power_efficiency)
+    assert result.summary["first_over_50_year"] == 2016
+
+
+def test_fig05_access_energy_28nm(run_and_print):
+    result = run_and_print(fig05_06_access_energy, "28nm")
+    # Who wins: accessing 1 is several times cheaper than accessing 0.
+    assert result.summary["read1_over_read0"] < 0.35
+    assert result.summary["write1_over_write0"] < 0.35
+    # The write-0 miss roughly doubles write energy (Figure 4-C).
+    assert 1.5 < result.summary["bvf_write0_over_8t_write0"] < 2.5
+
+
+def test_fig06_access_energy_40nm(run_and_print):
+    result = run_and_print(fig05_06_access_energy, "40nm")
+    assert result.summary["read1_over_read0"] < 0.35
+    assert result.summary["write1_over_write0"] < 0.35
+
+
+def test_sec31_leakage_asymmetry(run_and_print):
+    result = run_and_print(leakage_asymmetry, "28nm")
+    assert abs(result.summary["delta0"] - 0.0043) < 1e-3
+    assert abs(result.summary["delta1"] - 0.0301) < 1e-3
+    assert abs(result.summary["bit1_vs_bit0"] - 0.0961) < 1e-3

@@ -1,0 +1,27 @@
+"""Benches for the Section 6.3 overhead table and the Section 7
+discussion results (6T-BVF reliability, eDRAM BVF)."""
+
+from repro.experiments import (discussion_6t_reliability, discussion_edram,
+                               overhead_table)
+
+
+def test_sec63_overhead(run_and_print):
+    result = run_and_print(overhead_table)
+    # Gate count within 20% of the paper's 133,920.
+    assert 0.8 < result.summary["gate_ratio_vs_paper"] < 1.2
+    # Dynamic power in the tens of milliwatts at both nodes.
+    assert 10 < result.summary["dyn_mw_28nm"] < 150
+    assert 10 < result.summary["dyn_mw_40nm"] < 200
+
+
+def test_sec71_6t_reliability(run_and_print):
+    result = run_and_print(discussion_6t_reliability)
+    # Paper: the retrofit fails beyond 16 cells per bitline at 28nm.
+    assert result.summary["max_safe_cells"] == 16
+
+
+def test_sec72_edram(run_and_print):
+    result = run_and_print(discussion_edram)
+    for key, ratio in result.summary.items():
+        # Accessing/refreshing 1 is several times cheaper than 0.
+        assert ratio < 0.5, key

@@ -1,0 +1,45 @@
+"""Benches for the workload-profiling results: Figures 8, 9, 11, 12, 14
+and Table 2, over the full 58-application suite."""
+
+from repro.experiments import (fig08_narrow_value, fig09_bit_ratio,
+                               fig11_lane_hamming, fig12_pivot_quality,
+                               fig14_isa_bits, table2_masks)
+
+
+def test_fig08_narrow_value(run_and_print):
+    result = run_and_print(fig08_narrow_value)
+    # Paper: ~9 leading zero bits per 32-bit word on average.
+    assert 6.0 < result.summary["mean_leading_zeros"] < 14.0
+
+
+def test_fig09_bit_ratio(run_and_print):
+    result = run_and_print(fig09_bit_ratio)
+    # Paper: ~22 of 32 bits are 0 on average.
+    assert 19.0 < result.summary["mean_zero_bits"] < 28.0
+
+
+def test_fig11_lane_hamming(run_and_print):
+    result = run_and_print(fig11_lane_hamming)
+    # The crossover the paper exploits: lane 0 is not the best pivot;
+    # middle lanes have smaller mean Hamming distance than the edges.
+    assert result.summary["best_lane"] != 0
+    assert result.summary["middle_vs_edges"] < 1.0
+
+
+def test_fig12_pivot_quality(run_and_print):
+    result = run_and_print(fig12_pivot_quality)
+    # A fixed middle pivot stays within a modest factor of per-app optimal.
+    assert 1.0 <= result.summary["mean_excess"] < 1.8
+
+
+def test_fig14_isa_bit_positions(run_and_print):
+    result = run_and_print(fig14_isa_bits)
+    # Paper: "Most positions prefer 0".
+    assert result.summary["positions_preferring_zero"] > 40
+
+
+def test_table2_masks(run_and_print):
+    result = run_and_print(table2_masks)
+    assert result.summary["encoded_one_fraction"] > \
+        result.summary["baseline_one_fraction"]
+    assert result.summary["encoded_one_fraction"] > 0.5

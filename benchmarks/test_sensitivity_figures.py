@@ -1,0 +1,50 @@
+"""Benches for the sensitivity studies: Figures 20-23 over the full
+suite (DVFS, warp schedulers, SRAM capacity, 6T vs 8T)."""
+
+from repro.experiments import (fig20_dvfs, fig21_schedulers, fig22_capacity,
+                               fig23_6t_vs_8t)
+
+
+def test_fig20_dvfs(run_and_print):
+    result = run_and_print(fig20_dvfs)
+    for tech in ("28nm", "40nm"):
+        reds = [v for k, v in result.summary.items()
+                if k.startswith(f"reduction_{tech}")]
+        assert len(reds) == 3
+        # Paper: the savings percentage is consistent under DVFS.
+        assert min(reds) > 0.10
+        assert max(reds) - min(reds) < 0.15
+
+
+def test_fig21_schedulers(run_and_print):
+    result = run_and_print(fig21_schedulers)
+    for tech in ("28nm", "40nm"):
+        reds = [v for k, v in result.summary.items()
+                if k.startswith(f"reduction_{tech}")]
+        assert len(reds) == 3
+        # Paper: effectiveness is consistent across GTO/LRR/two-level.
+        assert min(reds) > 0.10
+        assert max(reds) - min(reds) < 0.10
+
+
+def test_fig22_capacity(run_and_print):
+    result = run_and_print(fig22_capacity)
+    for gpu in ("GTX-480", "Tesla-P100", "Tesla-K80"):
+        red40 = result.summary[f"reduction_{gpu}_40nm"]
+        red28 = result.summary[f"reduction_{gpu}_28nm"]
+        # Paper: consistently high BVF-unit reduction (~52%/48%)
+        # regardless of SRAM capacity generation.
+        assert red40 > 0.35
+        assert red28 > 0.30
+
+
+def test_fig23_6t_vs_8t(run_and_print):
+    result = run_and_print(fig23_6t_vs_8t)
+    s = result.summary
+    for tech in ("28nm", "40nm"):
+        # Ordering: BVF-8T < 8T at nominal voltage, and a solid win
+        # over the 6T baseline (paper: ~31.6%/32.7%).
+        assert s[f"BVF-8T_{tech}_1.2"] < s[f"8T_{tech}_1.2"]
+        assert s[f"bvf_vs_6t_{tech}"] > 0.15
+        # Deep DVFS at 0.6 V (impossible for 6T) saves much more.
+        assert s[f"BVF-8T_{tech}_0.6"] < 0.6 * s[f"BVF-8T_{tech}_1.2"]

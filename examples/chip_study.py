@@ -1,0 +1,62 @@
+"""Full-chip energy study over a benchmark suite slice.
+
+Reproduces the Figure-18 style per-application stacked comparison on a
+chosen subset of the 58 applications: baseline vs BVF chip energy with
+the per-component breakdown, plus a DVFS mini-sweep — the workflow a
+downstream user would run to evaluate BVF on their own workloads.
+
+Run:  python examples/chip_study.py [suite]
+      (suite in rodinia|parboil|sdk|shoc|lonestar|polybench|gpgpusim)
+"""
+
+import sys
+
+from repro import ChipModel, apps_by_suite, simulate_suite
+from repro.circuits import PSTATES
+from repro.power import BVF_UNITS
+
+
+def per_app_breakdown(suite_name: str) -> None:
+    apps = apps_by_suite(suite_name)
+    print(f"Simulating the {suite_name} suite "
+          f"({', '.join(a.name for a in apps)})...")
+    suite = simulate_suite(apps)
+    model = ChipModel("40nm")
+
+    warm = [u.name for u in BVF_UNITS] + ["NOC"]
+    print(f"\n{'app':5s} {'baseline(J)':>12s} {'BVF(J)':>12s} "
+          f"{'saved':>7s}  {'top BVF units':30s}")
+    for name in suite.app_names:
+        stats = suite.apps[name]
+        base = model.baseline(stats)
+        bvf = model.bvf(stats)
+        units = sorted(
+            ((k, v) for k, v in base.components.items() if k in warm),
+            key=lambda kv: -kv[1])[:3]
+        top = ", ".join(f"{k} {v / base.total_j:.0%}" for k, v in units)
+        print(f"{name:5s} {base.total_j:12.3e} {bvf.total_j:12.3e} "
+              f"{bvf.reduction_vs(base):7.1%}  {top}")
+
+    mean = sum(
+        model.bvf(s).reduction_vs(model.baseline(s))
+        for s in suite.apps.values()) / len(suite.apps)
+    print(f"\nsuite mean chip reduction @40nm: {mean:.1%} "
+          "(paper, all 58 apps: ~24%)")
+
+
+def dvfs_sweep(suite_name: str) -> None:
+    suite = simulate_suite(apps_by_suite(suite_name))
+    print("\nDVFS sweep (suite mean):")
+    print(f"{'P-state':9s} {'Vdd':5s} {'freq':8s} {'reduction':>10s}")
+    for pstate in PSTATES:
+        model = ChipModel("40nm", vdd=pstate.vdd)
+        reds = [model.bvf(s).reduction_vs(model.baseline(s))
+                for s in suite.apps.values()]
+        print(f"{pstate.name:9s} {pstate.vdd:4.1f}V "
+              f"{pstate.freq_mhz:4d}MHz {sum(reds) / len(reds):10.1%}")
+
+
+if __name__ == "__main__":
+    suite_name = sys.argv[1] if len(sys.argv) > 1 else "polybench"
+    per_app_breakdown(suite_name)
+    dvfs_sweep(suite_name)

@@ -1,0 +1,54 @@
+"""BVF: bit-value-favor circuit/architecture co-design for throughput
+processors — a full reproduction of Li, Zhao & Song, MICRO-50 (2017).
+
+The package layers, bottom-up:
+
+* :mod:`repro.circuits` — the Spectre-substitute switched-capacitance
+  model of 6T / 8T / BVF-8T SRAM and gain-cell eDRAM;
+* :mod:`repro.core` — the paper's contribution: the NV / VS / ISA
+  coders, BVF spaces, objective and overhead model;
+* :mod:`repro.arch` — the GPGPU-Sim-substitute trace-driven GPU
+  simulator (SIMT engine, caches, NoC, DRAM, warp schedulers);
+* :mod:`repro.kernels` — the 58-application workload suite;
+* :mod:`repro.analysis` / :mod:`repro.power` — the trace parser and the
+  GPUWattch-substitute power model;
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+Quickstart::
+
+    from repro import simulate_app, get_app, ChipModel
+    stats = simulate_app(get_app("ATA"))
+    model = ChipModel("40nm")
+    saving = model.bvf(stats).reduction_vs(model.baseline(stats))
+"""
+
+from .core import (NVCoder, VSCoder, ISACoder, IdentityCoder, ComposedCoder,
+                   Unit, CODER_SPACES, REFERENCE_MASKS, derive_mask,
+                   encoding_gain, hamming_objective)
+from .circuits import (TECH_28NM, TECH_40NM, TECH_65NM, PSTATES,
+                       energy_table, SRAMArray, ArrayGeometry, CELL_TYPES,
+                       max_safe_cells_per_bitline)
+from .arch import (GPUConfig, BASELINE_CONFIG, CAPACITY_CONFIGS, GPUReplay,
+                   Launch, run_functional)
+from .kernels import get_app, all_apps, apps_by_suite
+from .power import ChipModel, ChipEnergy, BVF_CELL, BASELINE_CELL
+from .sim import simulate_app, simulate_suite, SuiteResult, clear_caches
+from .experiments import run_experiment, run_all, EXPERIMENTS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NVCoder", "VSCoder", "ISACoder", "IdentityCoder", "ComposedCoder",
+    "Unit", "CODER_SPACES", "REFERENCE_MASKS", "derive_mask",
+    "encoding_gain", "hamming_objective",
+    "TECH_28NM", "TECH_40NM", "TECH_65NM", "PSTATES", "energy_table",
+    "SRAMArray", "ArrayGeometry", "CELL_TYPES",
+    "max_safe_cells_per_bitline",
+    "GPUConfig", "BASELINE_CONFIG", "CAPACITY_CONFIGS", "GPUReplay",
+    "Launch", "run_functional",
+    "get_app", "all_apps", "apps_by_suite",
+    "ChipModel", "ChipEnergy", "BVF_CELL", "BASELINE_CELL",
+    "simulate_app", "simulate_suite", "SuiteResult", "clear_caches",
+    "run_experiment", "run_all", "EXPERIMENTS",
+    "__version__",
+]

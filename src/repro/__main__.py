@@ -1,0 +1,94 @@
+"""Command-line interface: reproduce the paper's tables and figures.
+
+Usage::
+
+    python -m repro list                    # available experiments/apps
+    python -m repro run fig18               # one experiment, full suite
+    python -m repro run fig18 --apps ATA,BLA,VEC
+    python -m repro run all                 # the whole evaluation section
+    python -m repro app ATA                 # quick single-app study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _resolve_apps(spec):
+    if not spec:
+        return None
+    from .kernels import get_app
+    return [get_app(name.strip()) for name in spec.split(",")]
+
+
+def cmd_list(_args) -> int:
+    from .experiments import EXPERIMENTS
+    from .kernels import all_apps
+    print("experiments:")
+    for exp_id in EXPERIMENTS:
+        print(f"  {exp_id}")
+    print("\napplications (58):")
+    for app in all_apps():
+        print(f"  {app.name:4s} [{app.suite}] {app.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .experiments import EXPERIMENTS, run_all, run_experiment
+    apps = _resolve_apps(args.apps)
+    if args.experiment == "all":
+        for result in run_all(apps=apps):
+            print(result.to_text())
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    try:
+        result = run_experiment(args.experiment, apps=apps)
+    except TypeError:
+        result = run_experiment(args.experiment)
+    print(result.to_text())
+    return 0
+
+
+def cmd_app(args) -> int:
+    from .kernels import get_app
+    from .power import ChipModel
+    from .sim import simulate_app
+    stats = simulate_app(get_app(args.name))
+    print(f"{args.name}: {stats.instructions} warp-instructions, "
+          f"{stats.cycles} cycles, L1D hit {stats.l1d_hit_rate:.0%}")
+    for tech in ("28nm", "40nm"):
+        model = ChipModel(tech)
+        base, bvf = model.baseline(stats), model.bvf(stats)
+        print(f"  {tech}: {base.total_j:.3e} J -> {bvf.total_j:.3e} J "
+              f"({bvf.reduction_vs(base):.1%} saved)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BVF (MICRO 2017) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and applications")
+
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--apps", default="",
+                       help="comma-separated app subset (default: all 58)")
+
+    app_p = sub.add_parser("app", help="single-app energy study")
+    app_p.add_argument("name")
+
+    args = parser.parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run, "app": cmd_app}
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

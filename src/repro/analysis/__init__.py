@@ -1,0 +1,11 @@
+"""Trace analysis: profiling, ISA statistics and the tally parser."""
+
+from .profiling import Profiler, NarrowValueProfile, LaneHammingProfile
+from .isa_profile import ISAProfile, profile_binaries
+from .parser import AppStats, build_app_stats, SRAM_UNITS
+
+__all__ = [
+    "Profiler", "NarrowValueProfile", "LaneHammingProfile",
+    "ISAProfile", "profile_binaries",
+    "AppStats", "build_app_stats", "SRAM_UNITS",
+]

@@ -1,0 +1,36 @@
+"""GPU architecture substrate: ISA, SIMT engine, caches, NoC, replay."""
+
+from .config import GPUConfig, BASELINE_CONFIG, CAPACITY_CONFIGS, SCHEDULERS
+from .isa import Opcode, OpClass, OPCODE_CLASS, encode, decode, InstructionFields
+from .memory import DeviceBuffer, GlobalMemory, LINE_BYTES
+from .trace import (MemSpace, MemAccess, InstRecord, WarpTrace, BlockTrace,
+                    LaunchTrace, AppTrace)
+from .stats import (VARIANTS, AccessCounts, Tally, Encoders, NoCStats,
+                    TimingStats)
+from .warp import Reg, WarpCtx, BARRIER, LANES
+from .engine import Launch, run_functional, FunctionalResult
+from .cache import Cache, CacheStats, MSHRFile
+from .noc import Crossbar
+from .dram import DRAMChannel, DRAMSystem
+from .scheduler import (WarpSlot, Scheduler, GTOScheduler, LRRScheduler,
+                        TwoLevelScheduler, make_scheduler)
+from .gpu import GPUReplay, ReplayResult
+
+__all__ = [
+    "GPUConfig", "BASELINE_CONFIG", "CAPACITY_CONFIGS", "SCHEDULERS",
+    "Opcode", "OpClass", "OPCODE_CLASS", "encode", "decode",
+    "InstructionFields",
+    "DeviceBuffer", "GlobalMemory", "LINE_BYTES",
+    "MemSpace", "MemAccess", "InstRecord", "WarpTrace", "BlockTrace",
+    "LaunchTrace", "AppTrace",
+    "VARIANTS", "AccessCounts", "Tally", "Encoders", "NoCStats",
+    "TimingStats",
+    "Reg", "WarpCtx", "BARRIER", "LANES",
+    "Launch", "run_functional", "FunctionalResult",
+    "Cache", "CacheStats", "MSHRFile",
+    "Crossbar",
+    "DRAMChannel", "DRAMSystem",
+    "WarpSlot", "Scheduler", "GTOScheduler", "LRRScheduler",
+    "TwoLevelScheduler", "make_scheduler",
+    "GPUReplay", "ReplayResult",
+]

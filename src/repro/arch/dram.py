@@ -1,0 +1,80 @@
+"""Off-chip DRAM latency model: channel-interleaved, FR-FCFS-flavoured.
+
+BVF is transparent to off-chip units (the coders sit below the memory
+controllers, Figure 7), so DRAM only matters to the replay phase as a
+latency/contention source that shapes warp scheduling. Each channel
+serves requests in arrival order with a row-locality discount: a
+request hitting the channel's open row (same 2 KB row as the previous
+request) is serviced faster, approximating first-ready first-come
+first-served scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["DRAMChannel", "DRAMSystem"]
+
+_ROW_BYTES = 2048
+_BURST_CYCLES = 24
+
+
+@dataclass
+class DRAMChannel:
+    """One memory channel with an open-row register."""
+
+    index: int
+    base_latency: int
+    free_at: int = 0
+    open_row: int = -1
+    accesses: int = 0
+    row_hits: int = 0
+
+    def service(self, now: int, line_addr: int) -> int:
+        """Queue a line fetch; returns its completion cycle."""
+        self.accesses += 1
+        row = line_addr // _ROW_BYTES
+        if row == self.open_row:
+            self.row_hits += 1
+            latency = self.base_latency // 2
+        else:
+            latency = self.base_latency
+            self.open_row = row
+        start = max(now, self.free_at)
+        done = start + latency
+        self.free_at = start + _BURST_CYCLES
+        return done
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class DRAMSystem:
+    """Channel-interleaved DRAM behind the L2."""
+
+    n_channels: int
+    base_latency: int
+    line_bytes: int = 128
+    channels: List[DRAMChannel] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.n_channels < 1:
+            raise ValueError("need at least one DRAM channel")
+        if not self.channels:
+            self.channels = [
+                DRAMChannel(i, self.base_latency)
+                for i in range(self.n_channels)
+            ]
+
+    def channel_of(self, line_addr: int) -> DRAMChannel:
+        return self.channels[(line_addr // self.line_bytes) % self.n_channels]
+
+    def service(self, now: int, line_addr: int) -> int:
+        return self.channel_of(line_addr).service(now, line_addr)
+
+    @property
+    def accesses(self) -> int:
+        return sum(c.accesses for c in self.channels)

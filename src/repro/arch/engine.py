@@ -1,0 +1,158 @@
+"""Phase-1 functional execution of kernel launches.
+
+Runs every warp of every block through its kernel body, collecting
+per-warp dynamic instruction streams, the static binary, register/
+shared-memory bit tallies and the memory image snapshot the replay
+phase starts from.
+
+Barrier semantics: kernel bodies that synchronise are generator
+functions yielding :data:`~repro.arch.warp.BARRIER`; the engine runs
+every warp of a block up to the same barrier before releasing any of
+them, exactly like ``__syncthreads``. Warps within a barrier round run
+sequentially, so race-free kernels observe deterministic values.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .memory import GlobalMemory
+from .stats import Encoders, Tally
+from .trace import AppTrace, BlockTrace, LaunchTrace
+from .warp import BARRIER, LANES, WarpCtx
+
+__all__ = ["Launch", "run_functional", "FunctionalResult"]
+
+
+@dataclass
+class Launch:
+    """One kernel launch: a body plus its grid geometry.
+
+    ``body(w)`` receives a :class:`~repro.arch.warp.WarpCtx`; bodies that
+    use barriers are generators yielding ``w.barrier()``.
+    """
+
+    name: str
+    body: Callable
+    n_blocks: int
+    warps_per_block: int
+    shared_bytes: int = 0
+
+    def __post_init__(self):
+        if self.n_blocks < 1 or self.warps_per_block < 1:
+            raise ValueError("launch geometry must be positive")
+
+    @property
+    def threads(self) -> int:
+        return self.n_blocks * self.warps_per_block * LANES
+
+
+@dataclass
+class FunctionalResult:
+    """Phase-1 output for one application."""
+
+    trace: AppTrace
+    tally: Tally = field(default_factory=Tally)
+
+
+def _run_block(launch: Launch, block_idx: int, warps: List[WarpCtx]) -> None:
+    """Execute one block's warps in barrier-delimited rounds."""
+    if inspect.isgeneratorfunction(launch.body):
+        gens = [launch.body(w) for w in warps]
+        alive = [True] * len(gens)
+        while any(alive):
+            statuses = []
+            for i, gen in enumerate(gens):
+                if not alive[i]:
+                    statuses.append("done")
+                    continue
+                try:
+                    token = next(gen)
+                except StopIteration:
+                    alive[i] = False
+                    statuses.append("done")
+                    continue
+                if token is not BARRIER:
+                    raise RuntimeError(
+                        f"kernel {launch.name!r} yielded a non-barrier value; "
+                        "bodies must only `yield w.barrier()`"
+                    )
+                statuses.append("barrier")
+            at_barrier = statuses.count("barrier")
+            if at_barrier and at_barrier != sum(alive[i] for i in range(len(gens))):
+                raise RuntimeError(
+                    f"kernel {launch.name!r} has divergent barriers in "
+                    f"block {block_idx}: {statuses}"
+                )
+    else:
+        for w in warps:
+            launch.body(w)
+
+
+def run_functional(app_name: str, mem: GlobalMemory,
+                   launches: List[Launch], encoders: Encoders,
+                   profiler=None,
+                   const_base: int = 0, const_size: int = 0,
+                   code_region: Optional[tuple] = None) -> FunctionalResult:
+    """Execute an app's launches functionally and collect its traces.
+
+    The memory image is snapshotted *before* execution; after execution
+    each launch's static binary is patched into the snapshot's code
+    region (kernels never touch it), so the replay phase can fetch real
+    instruction bytes.
+    """
+    initial_image = mem.snapshot()
+    tally = Tally()
+    trace = AppTrace(app_name=app_name, const_base=const_base,
+                     const_size=const_size)
+
+    if code_region is None:
+        code_buf = mem.alloc(256 << 10, f"{app_name}.code")
+        code_region = (code_buf.base, code_buf.nbytes)
+    code_base, code_size = code_region
+    next_code = code_base
+
+    for launch in launches:
+        static_map: dict = {}
+        static_words: List[int] = []
+        launch_trace = LaunchTrace(name=launch.name, code_base=next_code,
+                                   static_words=static_words)
+        for block_idx in range(launch.n_blocks):
+            shared = np.zeros(max(launch.shared_bytes, 4), dtype=np.uint8)
+            warps = [
+                WarpCtx(
+                    mem=mem, shared=shared, tally=tally, encoders=encoders,
+                    static_map=static_map, static_words=static_words,
+                    block_idx=block_idx, warp_in_block=w,
+                    warps_per_block=launch.warps_per_block,
+                    n_blocks=launch.n_blocks,
+                    params={}, profiler=profiler,
+                )
+                for w in range(launch.warps_per_block)
+            ]
+            _run_block(launch, block_idx, warps)
+            launch_trace.blocks.append(
+                BlockTrace(block=block_idx, warps=[w.trace for w in warps])
+            )
+
+        binary_bytes = len(static_words) * 8
+        if next_code + binary_bytes > code_base + code_size:
+            raise MemoryError(
+                f"code region exhausted for {app_name!r} "
+                f"(need {binary_bytes} more bytes)"
+            )
+        # Patch the binary into both images so replay instruction
+        # fetches (and phase-1 reads, for symmetry) see real bits.
+        words = np.asarray(static_words, dtype=np.uint64)
+        raw = words.view(np.uint8)
+        mem.image[next_code:next_code + binary_bytes] = raw
+        initial_image[next_code:next_code + binary_bytes] = raw
+        trace.launches.append(launch_trace)
+        next_code += -(-binary_bytes // 128) * 128
+
+    trace.initial_image = initial_image
+    return FunctionalResult(trace=trace, tally=tally)

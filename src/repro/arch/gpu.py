@@ -1,0 +1,497 @@
+"""Phase-2 replay: scheduler-driven simulation of the memory hierarchy.
+
+Replays the per-warp instruction streams recorded by the functional
+engine through instruction fetch (IFB + L1I), the L1 data/constant/
+texture caches, the crossbar NoC, the banked L2 and DRAM, under a
+selectable warp scheduler. This is where every scheduling-order-
+dependent statistic is produced: cache hit/miss behaviour, line-
+granularity fill traffic, per-channel NoC flit sequences (toggles) and
+coarse timing.
+
+SMs progress in global timestamp order (the SM with the smallest local
+cycle steps next), so shared structures — L2 banks, DRAM channels, NoC
+channels — observe a realistic cross-SM interleaving.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .cache import Cache, CacheStats, MSHRFile
+from .config import GPUConfig
+from .dram import DRAMSystem
+from .isa import OpClass
+from .memory import GlobalMemory
+from .noc import Crossbar
+from .scheduler import WarpSlot, make_scheduler
+from .stats import Encoders, Tally, TimingStats
+from .trace import AppTrace, InstRecord, MemSpace
+from ..core.bitutils import INST_BITS, hamming_weight, popcount32, popcount64
+from ..core.spaces import Unit
+
+__all__ = ["ReplayResult", "GPUReplay"]
+
+_SPACE_UNIT = {
+    MemSpace.GLOBAL: Unit.L1D,
+    MemSpace.CONST: Unit.L1C,
+    MemSpace.TEX: Unit.L1T,
+}
+
+
+@dataclass
+class ReplayResult:
+    """Everything phase 2 measured for one application."""
+
+    tally: Tally
+    noc: Crossbar
+    timing: TimingStats
+    cache_stats: Dict[str, CacheStats] = field(default_factory=dict)
+    dram_accesses: int = 0
+    #: fraction of each unit's capacity the workload actually touched
+    #: (used for footprint-gated leakage accounting).
+    footprints: Dict[Unit, float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+
+class _WarpStream(WarpSlot):
+    """A warp slot bound to its recorded instruction stream."""
+
+    __slots__ = ("records", "ptr")
+
+    def __init__(self, uid: int, age: int, block_key,
+                 records: List[InstRecord]):
+        super().__init__(uid, age, block_key)
+        self.records = records
+        self.ptr = 0
+
+    def peek(self) -> Optional[InstRecord]:
+        if self.ptr < len(self.records):
+            return self.records[self.ptr]
+        return None
+
+
+class _SM:
+    """Replay state of one streaming multiprocessor."""
+
+    def __init__(self, index: int, config: GPUConfig):
+        self.index = index
+        self.config = config
+        self.cycle = 0
+        self.scheduler = make_scheduler(config.scheduler,
+                                        config.two_level_active_warps)
+        line = config.l1_line_bytes
+        self.l1i = Cache(f"sm{index}.l1i", config.l1i_kb, line,
+                         config.l1i_assoc)
+        self.l1d = Cache(f"sm{index}.l1d", config.l1d_kb, line,
+                         config.l1d_assoc)
+        self.l1c = Cache(f"sm{index}.l1c", config.l1c_kb, line,
+                         config.l1c_assoc)
+        self.l1t = Cache(f"sm{index}.l1t", config.l1t_kb, line,
+                         config.l1t_assoc)
+        self.mshrs = MSHRFile(config.mshrs_per_sm)
+        self.warps: List[_WarpStream] = []
+        self.block_queue: deque = deque()
+        self._next_uid = 0
+        self._next_age = 0
+        self.max_resident_warps = 0
+        self.max_resident_blocks = 0
+
+    def l1_for(self, space: MemSpace) -> Cache:
+        if space is MemSpace.GLOBAL:
+            return self.l1d
+        if space is MemSpace.CONST:
+            return self.l1c
+        if space is MemSpace.TEX:
+            return self.l1t
+        raise ValueError(f"no L1 for space {space}")
+
+    # -- block residency -------------------------------------------------
+
+    def admit_blocks(self) -> None:
+        cfg = self.config
+        while self.block_queue:
+            resident_blocks = len({w.block_key for w in self.warps
+                                   if not w.done})
+            resident_warps = sum(1 for w in self.warps if not w.done)
+            block_key, warp_records = self.block_queue[0]
+            if resident_blocks >= cfg.max_blocks_per_sm:
+                break
+            if resident_warps + len(warp_records) > cfg.warps_per_sm:
+                if resident_warps > 0:
+                    break
+            self.block_queue.popleft()
+            for records in warp_records:
+                slot = _WarpStream(self._next_uid, self._next_age,
+                                   block_key, records)
+                slot.ready_at = self.cycle
+                self._next_uid += 1
+                self._next_age += 1
+                self.warps.append(slot)
+            live = [w for w in self.warps if not w.done]
+            self.max_resident_warps = max(self.max_resident_warps, len(live))
+            self.max_resident_blocks = max(
+                self.max_resident_blocks, len({w.block_key for w in live})
+            )
+
+    def prune_done(self) -> None:
+        if len(self.warps) > 2 * self.config.warps_per_sm:
+            self.warps = [w for w in self.warps if not w.done]
+
+    @property
+    def finished(self) -> bool:
+        return not self.block_queue and all(w.done for w in self.warps)
+
+
+class GPUReplay:
+    """Replays an :class:`~repro.arch.trace.AppTrace` on a GPU config."""
+
+    def __init__(self, config: GPUConfig, encoders: Encoders):
+        self.config = config
+        self.encoders = encoders
+        self._inst_bits: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Tally helpers
+    # ------------------------------------------------------------------
+
+    def _tally_inst_word(self, tally: Tally, unit: Unit, word: int,
+                         is_store: bool, count: int = 1) -> None:
+        """Fast path: cache per-word bit counts (streams repeat heavily)."""
+        entry = self._inst_bits.get(word)
+        if entry is None:
+            arr = np.asarray([word], dtype=np.uint64)
+            ones_base = int(popcount64(arr)[0])
+            ones_isa = int(popcount64(
+                self.encoders.isa.encode_words(arr))[0])
+            entry = self._inst_bits[word] = (ones_base, ones_isa)
+        ones_base, ones_isa = entry
+        total = INST_BITS * count
+        for variant, ones in (("base", ones_base), ("NV", ones_base),
+                              ("VS", ones_base), ("ISA", ones_isa),
+                              ("ALL", ones_isa)):
+            tally.add(unit, variant, is_store,
+                      total - ones * count, ones * count)
+
+    def _line_words(self, mem: GlobalMemory, line_addr: int) -> np.ndarray:
+        raw = mem.image[line_addr:line_addr + self.config.l1_line_bytes]
+        return np.ascontiguousarray(raw).view(np.uint32)
+
+    def _tally_line(self, tally: Tally, unit: Unit, line_words: np.ndarray,
+                    is_store: bool, subset: Optional[np.ndarray] = None) -> None:
+        """Tally a cache line (or a word subset of it) under all variants."""
+        variants = self.encoders.data_variants(unit, line_words, "line")
+        if subset is None:
+            total = line_words.size * 32
+            for variant, encoded in variants.items():
+                ones = hamming_weight(encoded)
+                tally.add(unit, variant, is_store, total - ones, ones)
+        else:
+            if subset.size == 0:
+                return
+            total = subset.size * 32
+            for variant, encoded in variants.items():
+                ones = int(popcount32(encoded[subset]).sum())
+                tally.add(unit, variant, is_store, total - ones, ones)
+
+    def _line_payload_variants(self, line_words: np.ndarray,
+                               is_inst: bool) -> Dict[str, np.ndarray]:
+        """Per-variant byte payloads of a line for NoC transmission."""
+        if is_inst:
+            words64 = np.ascontiguousarray(line_words).view(np.uint64)
+            variants = self.encoders.inst_variants(words64)
+            return {v: np.ascontiguousarray(w).view(np.uint8)
+                    for v, w in variants.items()}
+        variants = self.encoders.data_variants(Unit.NOC, line_words, "line")
+        return {v: np.ascontiguousarray(w).view(np.uint8)
+                for v, w in variants.items()}
+
+    # ------------------------------------------------------------------
+    # Memory-system transactions
+    # ------------------------------------------------------------------
+
+    def _l2_access(self, state, sm: _SM, line_addr: int, is_store: bool,
+                   is_inst: bool, now: int) -> int:
+        """Access the L2; returns completion latency from ``now``."""
+        cfg = self.config
+        mem, tally, noc, l2_banks, dram, timing = state
+        bank_idx = noc.bank_of(line_addr, cfg.l2_line_bytes)
+        bank = l2_banks[bank_idx]
+        timing.l2_accesses += 1
+        hit = bank.lookup(line_addr)
+        latency = cfg.lat_l2_hit
+        if not hit:
+            timing.l2_misses += 1
+            done = dram.service(now + cfg.lat_l2_hit, line_addr)
+            timing.dram_accesses += 1
+            latency = (done - now) + cfg.lat_l2_hit
+            victim = bank.fill(line_addr, dirty=False)
+            if victim is not None:
+                # Dirty writeback to DRAM: off-chip, transparent to BVF.
+                dram.service(now + latency, victim)
+            line_words = self._line_words(mem, line_addr)
+            if is_inst:
+                words64 = np.ascontiguousarray(line_words).view(np.uint64)
+                for word in words64:
+                    self._tally_inst_word(tally, Unit.L2, int(word),
+                                          is_store=True)
+            else:
+                self._tally_line(tally, Unit.L2, line_words, is_store=True)
+        # The access itself: read for loads/fetches, write for stores.
+        line_words = self._line_words(mem, line_addr)
+        if is_inst:
+            words64 = np.ascontiguousarray(line_words).view(np.uint64)
+            for word in words64:
+                self._tally_inst_word(tally, Unit.L2, int(word), is_store)
+        else:
+            self._tally_line(tally, Unit.L2, line_words, is_store)
+        if is_store:
+            bank.mark_dirty(line_addr)
+        return latency
+
+    def _fetch(self, state, sm: _SM, code_base: int, rec: InstRecord,
+               now: int) -> int:
+        """Instruction fetch through IFB and L1I; returns added latency."""
+        cfg = self.config
+        mem, tally, noc, l2_banks, dram, timing = state
+        # IFB: the fetched word is written into and read out of the buffer.
+        self._tally_inst_word(tally, Unit.IFB, rec.word, is_store=True)
+        self._tally_inst_word(tally, Unit.IFB, rec.word, is_store=False)
+        addr = code_base + rec.pc * 8
+        line_addr = sm.l1i.line_of(addr)
+        self._tally_inst_word(tally, Unit.L1I, rec.word, is_store=False)
+        if sm.l1i.lookup(line_addr):
+            return 0
+        bank = noc.bank_of(line_addr, cfg.l2_line_bytes)
+        noc.send_request(sm.index, bank, line_addr)
+        latency = self._l2_access(state, sm, line_addr, is_store=False,
+                                  is_inst=True, now=now)
+        line_words = self._line_words(mem, line_addr)
+        noc.send_response(sm.index, bank,
+                          self._line_payload_variants(line_words, True))
+        sm.l1i.fill(line_addr)
+        words64 = np.ascontiguousarray(line_words).view(np.uint64)
+        for word in words64:
+            self._tally_inst_word(tally, Unit.L1I, int(word), is_store=True)
+        return latency
+
+    def _load(self, state, sm: _SM, rec: InstRecord, now: int) -> int:
+        cfg = self.config
+        mem, tally, noc, l2_banks, dram, timing = state
+        acc = rec.mem
+        unit = _SPACE_UNIT[acc.space]
+        l1 = sm.l1_for(acc.space)
+        addrs = acc.addrs[acc.active]
+        if addrs.size == 0:
+            return cfg.lat_alu
+        line_bytes = cfg.l1_line_bytes
+        lines = np.unique(addrs - (addrs % line_bytes))
+        worst = 0
+        for line_addr in lines:
+            line_addr = int(line_addr)
+            in_line = addrs[(addrs >= line_addr)
+                            & (addrs < line_addr + line_bytes)]
+            subset = np.unique((in_line - line_addr) >> 2)
+            line_words = self._line_words(mem, line_addr)
+            hit = l1.lookup(line_addr)
+            if unit is Unit.L1D:
+                timing.l1d_accesses += 1
+            if hit:
+                self._tally_line(tally, unit, line_words, False, subset)
+                worst = max(worst, cfg.lat_l1_hit)
+                continue
+            if unit is Unit.L1D:
+                timing.l1d_misses += 1
+            start = sm.mshrs.acquire(now, cfg.lat_l2_hit)
+            bank = noc.bank_of(line_addr, cfg.l2_line_bytes)
+            noc.send_request(sm.index, bank, line_addr)
+            l2_latency = self._l2_access(state, sm, line_addr, False,
+                                         False, start)
+            noc.send_response(sm.index, bank,
+                              self._line_payload_variants(line_words, False))
+            l1.fill(line_addr)
+            # Fill writes the whole line into L1, then the warp reads it.
+            self._tally_line(tally, unit, line_words, True)
+            self._tally_line(tally, unit, line_words, False, subset)
+            worst = max(worst, (start - now) + l2_latency + cfg.lat_l1_hit)
+        return max(worst, cfg.lat_l1_hit)
+
+    def _store(self, state, sm: _SM, rec: InstRecord, now: int) -> int:
+        """Global store: L1 write-evict / write-no-allocate, write to L2."""
+        cfg = self.config
+        mem, tally, noc, l2_banks, dram, timing = state
+        acc = rec.mem
+        addrs = acc.addrs[acc.active]
+        data = acc.data[acc.active]
+        if addrs.size == 0:
+            return cfg.lat_alu
+        # Keep the replay image coherent for subsequent line reads.
+        mem.write_u32(acc.addrs, acc.data, mask=acc.active)
+        line_bytes = cfg.l1_line_bytes
+        lines = np.unique(addrs - (addrs % line_bytes))
+        for line_addr in lines:
+            line_addr = int(line_addr)
+            sm.l1d.invalidate(line_addr)
+            timing.l1d_accesses += 1
+            in_line = (addrs >= line_addr) & (addrs < line_addr + line_bytes)
+            subset = np.unique((addrs[in_line] - line_addr) >> 2)
+            line_words = self._line_words(mem, line_addr)
+            bank = noc.bank_of(line_addr, cfg.l2_line_bytes)
+            payload = np.ascontiguousarray(data[in_line]).view(np.uint8)
+            variants = self.encoders.data_variants(Unit.NOC, data[in_line],
+                                                   "line")
+            noc.send_write(sm.index, bank, line_addr, {
+                v: np.ascontiguousarray(w).view(np.uint8)
+                for v, w in variants.items()
+            })
+            self._l2_access(state, sm, line_addr, is_store=True,
+                            is_inst=False, now=now)
+            # L2 books the written words; covered inside _l2_access via
+            # the full-line write tally. Also tally the store's words at
+            # the L1 interface where the invalidation check happened.
+            self._tally_line(tally, Unit.L1D, line_words, True, subset)
+        return cfg.lat_alu + 4
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, app: AppTrace) -> ReplayResult:
+        cfg = self.config
+        mem = GlobalMemory(size_bytes=app.initial_image.size)
+        mem.restore(app.initial_image)
+        tally = Tally()
+        noc = Crossbar(cfg.n_sms, cfg.l2_banks, cfg.noc_flit_bytes)
+        l2_banks = [
+            Cache(f"l2.bank{i}", cfg.l2_kb_per_bank, cfg.l2_line_bytes,
+                  cfg.l2_assoc)
+            for i in range(cfg.l2_banks)
+        ]
+        dram = DRAMSystem(cfg.n_mem_channels, cfg.lat_dram,
+                          cfg.l2_line_bytes)
+        timing = TimingStats()
+        state = (mem, tally, noc, l2_banks, dram, timing)
+
+        total_cycles = 0
+        used_sms = set()
+        footprints: Dict[Unit, float] = {}
+
+        def bump(unit: Unit, fraction: float) -> None:
+            footprints[unit] = max(footprints.get(unit, 0.0),
+                                   min(1.0, fraction))
+
+        for launch in app.launches:
+            sms = [_SM(i, cfg) for i in range(cfg.n_sms)]
+            for block in launch.blocks:
+                sm = sms[block.block % cfg.n_sms]
+                sm.block_queue.append(
+                    (f"b{block.block}", [w.records for w in block.warps])
+                )
+            for sm in sms:
+                sm.admit_blocks()
+
+            heap = [(0, sm.index) for sm in sms if not sm.finished]
+            heapq.heapify(heap)
+            while heap:
+                __, sm_idx = heapq.heappop(heap)
+                sm = sms[sm_idx]
+                self._step_sm(state, sm, launch.code_base)
+                if not sm.finished:
+                    heapq.heappush(heap, (sm.cycle, sm.index))
+            total_cycles += max((sm.cycle for sm in sms), default=0)
+            used_sms.update(sm.index for sm in sms if sm.cycle > 0)
+
+            active = [sm for sm in sms if sm.cycle > 0] or sms[:1]
+            line_kb = cfg.l1_line_bytes / 1024.0
+            for sm in active:
+                bump(Unit.REG, sm.max_resident_warps / cfg.warps_per_sm)
+                bump(Unit.SME,
+                     sm.max_resident_blocks / cfg.max_blocks_per_sm)
+                bump(Unit.L1D,
+                     sm.l1d.resident_lines * line_kb / cfg.l1d_kb)
+                bump(Unit.L1I,
+                     sm.l1i.resident_lines * line_kb / cfg.l1i_kb)
+                bump(Unit.L1C,
+                     sm.l1c.resident_lines * line_kb / cfg.l1c_kb)
+                bump(Unit.L1T,
+                     sm.l1t.resident_lines * line_kb / cfg.l1t_kb)
+            l2_resident = sum(b.resident_lines for b in l2_banks)
+            bump(Unit.L2,
+                 l2_resident * cfg.l2_line_bytes / (cfg.l2_kb * 1024.0))
+            bump(Unit.IFB, 1.0)
+
+        noc.stats.flush()
+        timing.cycles = total_cycles
+        timing.used_sms = max(1, len(used_sms))
+        return ReplayResult(tally=tally, noc=noc, timing=timing,
+                            dram_accesses=dram.accesses,
+                            footprints=footprints)
+
+    def _release_barrier(self, sm: _SM, block_key) -> None:
+        members = [w for w in sm.warps if w.block_key == block_key]
+        waiting = [w for w in members if not w.done]
+        if waiting and all(w.at_barrier for w in waiting):
+            for w in waiting:
+                w.at_barrier = False
+                w.ready_at = sm.cycle + 5
+            sm.timing_barriers = getattr(sm, "timing_barriers", 0) + 1
+
+    def _step_sm(self, state, sm: _SM, code_base: int) -> None:
+        mem, tally, noc, l2_banks, dram, timing = state
+        cfg = self.config
+        warp = sm.scheduler.pick(sm.warps, sm.cycle)
+        if warp is None:
+            nxt = sm.scheduler.next_event(sm.warps)
+            if nxt is None:
+                # All resident warps done or at barriers; barriers
+                # resolve on arrival, so this means the SM can admit
+                # new blocks or is finished.
+                sm.prune_done()
+                sm.admit_blocks()
+                if all(w.done for w in sm.warps) and not sm.block_queue:
+                    return
+                sm.cycle += 1
+            else:
+                sm.cycle = max(sm.cycle + 1, nxt)
+            return
+
+        rec = warp.peek()
+        if rec is None:
+            warp.done = True
+            self._release_barrier(sm, warp.block_key)
+            sm.admit_blocks()
+            return
+        warp.ptr += 1
+
+        fetch_latency = self._fetch(state, sm, code_base, rec, sm.cycle)
+        timing.count_op(rec.op_class.value, rec.active_lanes)
+
+        if rec.is_barrier:
+            warp.at_barrier = True
+            self._release_barrier(sm, warp.block_key)
+        elif rec.mem is None:
+            base = cfg.lat_sfu if rec.op_class is OpClass.SFU else cfg.lat_alu
+            warp.ready_at = sm.cycle + base + fetch_latency
+        elif rec.mem.space is MemSpace.SHARED:
+            timing.barriers += 0  # shared accesses tallied in phase 1
+            warp.ready_at = sm.cycle + cfg.lat_sme + fetch_latency
+        elif rec.mem.is_store:
+            latency = self._store(state, sm, rec, sm.cycle)
+            warp.ready_at = sm.cycle + latency + fetch_latency
+        else:
+            latency = self._load(state, sm, rec, sm.cycle)
+            warp.ready_at = sm.cycle + latency + fetch_latency
+
+        if warp.ptr >= len(warp.records):
+            warp.done = True
+            self._release_barrier(sm, warp.block_key)
+            sm.prune_done()
+            sm.admit_blocks()
+        sm.cycle += 1

@@ -1,0 +1,171 @@
+"""A synthetic SASS-like 64-bit GPU ISA.
+
+The ISA-preference coder only requires a fixed-width instruction
+encoding whose bit positions are statistically biased — true of every
+real GPU ISA because opcode spaces are sparse, register indices are
+small and immediates cluster near zero. This module defines such an
+encoding for the simulator's instruction set, mirroring the structure
+of NVIDIA SASS (64-bit words, opcode high bits, three register fields,
+a predicate and an immediate).
+
+Layout (bit 63 = MSB):
+
+====== ======= =========================================
+bits    width  field
+====== ======= =========================================
+63-54      10  opcode
+53-46       8  destination register
+45-38       8  source register 1
+37-30       8  source register 2
+29-26       4  predicate register
+25-0       26  immediate (low 26 bits, sign-truncated)
+====== ======= =========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Opcode", "encode", "decode", "InstructionFields",
+           "OPCODE_CLASS", "OpClass"]
+
+
+class OpClass(enum.Enum):
+    """Functional class, used for replay latency and power accounting."""
+
+    ALU = "alu"              # integer/logic
+    FPU = "fpu"              # single-precision floating point
+    SFU = "sfu"              # special functions (rcp, sqrt, exp...)
+    MOVE = "move"
+    CONTROL = "control"      # branches/predicates/barriers
+    LOAD = "load"
+    STORE = "store"
+
+
+class Opcode(enum.IntEnum):
+    """Opcode values; gaps mimic a sparse real opcode space."""
+
+    MOV = 0x004
+    IADD = 0x008
+    ISUB = 0x009
+    IMUL = 0x00C
+    IMAD = 0x00D
+    AND = 0x010
+    OR = 0x011
+    XOR = 0x012
+    SHL = 0x014
+    SHR = 0x015
+    MIN = 0x018
+    MAX = 0x019
+    SETP = 0x01C
+    SEL = 0x01E
+    FADD = 0x020
+    FMUL = 0x021
+    FFMA = 0x022
+    FSUB = 0x023
+    FMIN = 0x024
+    FMAX = 0x025
+    FSETP = 0x026
+    RCP = 0x040
+    RSQ = 0x041
+    SQRT = 0x042
+    EXP = 0x043
+    LOG = 0x044
+    SIN = 0x045
+    I2F = 0x048
+    F2I = 0x049
+    CLZ = 0x04A
+    POPC = 0x04B
+    LDG = 0x080
+    STG = 0x081
+    LDS = 0x084
+    STS = 0x085
+    LDC = 0x088
+    TEX = 0x08C
+    BRA = 0x100
+    BAR = 0x104
+    EXIT = 0x108
+
+
+OPCODE_CLASS: Dict[Opcode, OpClass] = {
+    Opcode.MOV: OpClass.MOVE,
+    Opcode.IADD: OpClass.ALU, Opcode.ISUB: OpClass.ALU,
+    Opcode.IMUL: OpClass.ALU, Opcode.IMAD: OpClass.ALU,
+    Opcode.AND: OpClass.ALU, Opcode.OR: OpClass.ALU,
+    Opcode.XOR: OpClass.ALU, Opcode.SHL: OpClass.ALU,
+    Opcode.SHR: OpClass.ALU, Opcode.MIN: OpClass.ALU,
+    Opcode.MAX: OpClass.ALU, Opcode.SETP: OpClass.CONTROL,
+    Opcode.SEL: OpClass.ALU,
+    Opcode.FADD: OpClass.FPU, Opcode.FMUL: OpClass.FPU,
+    Opcode.FFMA: OpClass.FPU, Opcode.FSUB: OpClass.FPU,
+    Opcode.FMIN: OpClass.FPU, Opcode.FMAX: OpClass.FPU,
+    Opcode.FSETP: OpClass.CONTROL,
+    Opcode.RCP: OpClass.SFU, Opcode.RSQ: OpClass.SFU,
+    Opcode.SQRT: OpClass.SFU, Opcode.EXP: OpClass.SFU,
+    Opcode.LOG: OpClass.SFU, Opcode.SIN: OpClass.SFU,
+    Opcode.I2F: OpClass.ALU, Opcode.F2I: OpClass.ALU,
+    Opcode.CLZ: OpClass.ALU, Opcode.POPC: OpClass.ALU,
+    Opcode.LDG: OpClass.LOAD, Opcode.STG: OpClass.STORE,
+    Opcode.LDS: OpClass.LOAD, Opcode.STS: OpClass.STORE,
+    Opcode.LDC: OpClass.LOAD, Opcode.TEX: OpClass.LOAD,
+    Opcode.BRA: OpClass.CONTROL, Opcode.BAR: OpClass.CONTROL,
+    Opcode.EXIT: OpClass.CONTROL,
+}
+
+_OPCODE_SHIFT = 54
+_DST_SHIFT = 46
+_SRC1_SHIFT = 38
+_SRC2_SHIFT = 30
+_PRED_SHIFT = 26
+_IMM_MASK = (1 << 26) - 1
+_REG_MASK = 0xFF
+_PRED_MASK = 0xF
+
+
+@dataclass(frozen=True)
+class InstructionFields:
+    """Decoded view of one 64-bit instruction word."""
+
+    opcode: Opcode
+    dst: int
+    src1: int
+    src2: int
+    pred: int
+    imm: int
+
+    @property
+    def op_class(self) -> OpClass:
+        return OPCODE_CLASS[self.opcode]
+
+
+def encode(opcode: Opcode, dst: int = 0, src1: int = 0, src2: int = 0,
+           pred: int = 0, imm: int = 0) -> int:
+    """Pack fields into a 64-bit instruction word."""
+    for name, value, mask in (("dst", dst, _REG_MASK),
+                              ("src1", src1, _REG_MASK),
+                              ("src2", src2, _REG_MASK),
+                              ("pred", pred, _PRED_MASK)):
+        if not 0 <= value <= mask:
+            raise ValueError(f"{name}={value} out of range (<= {mask})")
+    word = (int(opcode) << _OPCODE_SHIFT)
+    word |= dst << _DST_SHIFT
+    word |= src1 << _SRC1_SHIFT
+    word |= src2 << _SRC2_SHIFT
+    word |= pred << _PRED_SHIFT
+    word |= imm & _IMM_MASK
+    return word
+
+
+def decode(word: int) -> InstructionFields:
+    """Unpack a 64-bit instruction word."""
+    opcode = Opcode((word >> _OPCODE_SHIFT) & 0x3FF)
+    return InstructionFields(
+        opcode=opcode,
+        dst=(word >> _DST_SHIFT) & _REG_MASK,
+        src1=(word >> _SRC1_SHIFT) & _REG_MASK,
+        src2=(word >> _SRC2_SHIFT) & _REG_MASK,
+        pred=(word >> _PRED_SHIFT) & _PRED_MASK,
+        imm=word & _IMM_MASK,
+    )

@@ -1,0 +1,145 @@
+"""Device memory: a flat global address space with a bump allocator.
+
+The simulator keeps the whole device memory as one NumPy byte image so
+cache-line fills, NoC payloads and instruction fetches can read real
+bit contents. Buffers are aligned, contiguous slices of the image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceBuffer", "GlobalMemory", "LINE_BYTES"]
+
+LINE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class DeviceBuffer:
+    """A named, aligned allocation in device memory."""
+
+    name: str
+    base: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def addr(self, element_index, element_bytes: int = 4):
+        """Byte address(es) of the given element index(es)."""
+        idx = np.asarray(element_index, dtype=np.int64)
+        return self.base + idx * element_bytes
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class GlobalMemory:
+    """The device's flat memory image plus its allocator."""
+
+    def __init__(self, size_bytes: int = 8 << 20, align: int = LINE_BYTES):
+        self.size = size_bytes
+        self.align = align
+        self.image = np.zeros(size_bytes, dtype=np.uint8)
+        self._next = align  # keep address 0 unmapped to catch bugs
+        self.buffers = {}
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def alloc(self, nbytes: int, name: str) -> DeviceBuffer:
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if name in self.buffers:
+            raise ValueError(f"duplicate buffer name {name!r}")
+        base = self._next
+        padded = -(-nbytes // self.align) * self.align
+        if base + padded > self.size:
+            raise MemoryError(
+                f"device memory exhausted allocating {name!r} "
+                f"({nbytes} bytes; {self.size - base} free)"
+            )
+        self._next = base + padded
+        buf = DeviceBuffer(name, base, nbytes)
+        self.buffers[name] = buf
+        return buf
+
+    def alloc_array(self, values, name: str) -> DeviceBuffer:
+        """Allocate a buffer initialised from a NumPy array."""
+        arr = np.ascontiguousarray(values)
+        buf = self.alloc(arr.nbytes, name)
+        self.image[buf.base:buf.base + arr.nbytes] = arr.view(np.uint8).ravel()
+        return buf
+
+    # ------------------------------------------------------------------
+    # Word access (little-endian uint32)
+    # ------------------------------------------------------------------
+
+    def read_u32(self, addresses) -> np.ndarray:
+        addrs = np.asarray(addresses, dtype=np.int64)
+        self._check(addrs, 4)
+        gathered = np.empty(addrs.shape + (4,), dtype=np.uint8)
+        for byte in range(4):
+            gathered[..., byte] = self.image[addrs + byte]
+        return np.ascontiguousarray(gathered).view(np.uint32).reshape(addrs.shape)
+
+    def write_u32(self, addresses, values, mask=None) -> None:
+        addrs = np.asarray(addresses, dtype=np.int64)
+        vals = np.asarray(values, dtype=np.uint32)
+        if mask is not None:
+            keep = np.asarray(mask, dtype=bool)
+            addrs = addrs[keep]
+            vals = vals[keep]
+        if addrs.size == 0:
+            return
+        self._check(addrs, 4)
+        as_bytes = np.ascontiguousarray(vals).view(np.uint8).reshape(-1, 4)
+        for byte in range(4):
+            self.image[addrs + byte] = as_bytes[:, byte]
+
+    def read_u64(self, address: int) -> int:
+        self._check(np.asarray([address]), 8)
+        return int(self.image[address:address + 8].view(np.uint64)[0])
+
+    def write_u64(self, address: int, value: int) -> None:
+        self._check(np.asarray([address]), 8)
+        self.image[address:address + 8] = np.uint64(value).reshape(1).view(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Line access
+    # ------------------------------------------------------------------
+
+    def read_line(self, line_address: int,
+                  line_bytes: int = LINE_BYTES) -> np.ndarray:
+        if line_address % line_bytes:
+            raise ValueError("line address must be line-aligned")
+        self._check(np.asarray([line_address]), line_bytes)
+        return self.image[line_address:line_address + line_bytes].copy()
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the image, used to reset state for the replay phase."""
+        return self.image.copy()
+
+    def restore(self, image: np.ndarray) -> None:
+        if image.shape != self.image.shape:
+            raise ValueError("snapshot shape mismatch")
+        self.image[:] = image
+
+    def to_numpy(self, buf: DeviceBuffer, dtype=np.uint32) -> np.ndarray:
+        """View a buffer's current contents as a typed array."""
+        raw = self.image[buf.base:buf.base + buf.nbytes]
+        return np.ascontiguousarray(raw).view(dtype)
+
+    def _check(self, addrs: np.ndarray, width: int) -> None:
+        if addrs.size == 0:
+            return
+        lo = int(addrs.min())
+        hi = int(addrs.max()) + width
+        if lo < 0 or hi > self.size:
+            raise IndexError(
+                f"device access out of range: [{lo}, {hi}) of {self.size}"
+            )

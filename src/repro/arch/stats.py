@@ -1,0 +1,300 @@
+"""Bit-statistics accounting: per-unit tallies under every coder variant.
+
+The paper's trace parser counts, for each BVF unit, "the volume of bit
+0/1 in the data contents in terms of reads and writes", and for the NoC
+"the volume of bit transition for every two consecutive flit
+transmissions in the same channel" — first for the baseline, then with
+each coder enabled. We do the same, in a single pass: every tallied
+word batch is encoded under each variant and counted.
+
+Variants: ``base`` (no coder), ``NV``, ``VS``, ``ISA`` (each coder
+alone) and ``ALL`` (the paper's deployed combination). A variant's
+counts for a unit outside that coder's BVF space equal the baseline's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.bitutils import INST_BITS, hamming_weight, toggles_between
+from ..core.coders import ISACoder, NVCoder, VSCoder
+from ..core.spaces import CODER_SPACES, Unit
+
+__all__ = ["VARIANTS", "AccessCounts", "Tally", "Encoders", "NoCStats",
+           "TimingStats"]
+
+VARIANTS = ("base", "NV", "VS", "ISA", "ALL")
+
+
+@dataclass
+class AccessCounts:
+    """Per-bit-value access totals for one (unit, variant)."""
+
+    read0: int = 0
+    read1: int = 0
+    write0: int = 0
+    write1: int = 0
+
+    def add(self, is_store: bool, zeros: int, ones: int) -> None:
+        if is_store:
+            self.write0 += zeros
+            self.write1 += ones
+        else:
+            self.read0 += zeros
+            self.read1 += ones
+
+    @property
+    def total_bits(self) -> int:
+        return self.read0 + self.read1 + self.write0 + self.write1
+
+    @property
+    def one_fraction(self) -> float:
+        total = self.total_bits
+        ones = self.read1 + self.write1
+        return ones / total if total else 0.0
+
+    def merged(self, other: "AccessCounts") -> "AccessCounts":
+        return AccessCounts(
+            self.read0 + other.read0, self.read1 + other.read1,
+            self.write0 + other.write0, self.write1 + other.write1,
+        )
+
+
+class Tally:
+    """Access-count accumulator over (unit, variant) pairs."""
+
+    def __init__(self):
+        self.counts: Dict[Tuple[Unit, str], AccessCounts] = {}
+
+    def add(self, unit: Unit, variant: str, is_store: bool,
+            zeros: int, ones: int) -> None:
+        key = (unit, variant)
+        counts = self.counts.get(key)
+        if counts is None:
+            counts = self.counts[key] = AccessCounts()
+        counts.add(is_store, zeros, ones)
+
+    def get(self, unit: Unit, variant: str) -> AccessCounts:
+        return self.counts.get((unit, variant), AccessCounts())
+
+    def merge(self, other: "Tally") -> None:
+        for key, counts in other.counts.items():
+            mine = self.counts.get(key)
+            self.counts[key] = counts if mine is None else mine.merged(counts)
+
+    def units(self):
+        return sorted({unit for unit, __ in self.counts}, key=lambda u: u.name)
+
+
+class Encoders:
+    """Applies each variant's coder stack to word batches for tallying.
+
+    ``pivot_lane`` parameterises the warp-register VS coder (the paper's
+    profiled optimum is lane 21); cache-line VS coding always pivots on
+    element 0 because per-line pivots cannot be profiled (Section 4.2.1).
+    """
+
+    def __init__(self, isa_mask: int, pivot_lane: int = 21):
+        self.nv = NVCoder()
+        self.vs_warp = VSCoder(pivot_index=pivot_lane)
+        self.vs_line = VSCoder(pivot_index=0)
+        self.isa = ISACoder(isa_mask)
+
+    # -- data stream ----------------------------------------------------
+
+    def _vs_for(self, blocked: str) -> VSCoder:
+        return self.vs_warp if blocked == "warp" else self.vs_line
+
+    def data_variants(self, unit: Unit, words: np.ndarray,
+                      blocked: str = "line",
+                      active: Optional[np.ndarray] = None) -> Dict[str, np.ndarray]:
+        """Per-variant encodings of a data word batch for ``unit``.
+
+        ``blocked`` selects the VS blocking: "warp" (axis-0 lanes, pivot
+        lane 21, honouring the active mask) or "line" (axis-0 words of a
+        cache line, pivot element 0).
+        """
+        w = np.asarray(words, dtype=np.uint32)
+        in_nv = unit in CODER_SPACES["NV"].units
+        in_vs = unit in CODER_SPACES["VS"].units
+        nv_words = self.nv.encode_words(w) if in_nv else w
+        if in_vs:
+            vs = self._vs_for(blocked)
+            if blocked == "warp" and active is not None:
+                vs_words = vs.encode_masked(w, active)
+                all_words = vs.encode_masked(nv_words, active)
+            else:
+                vs_words = vs.encode_words(w)
+                all_words = vs.encode_words(nv_words)
+        else:
+            vs_words = w
+            all_words = nv_words
+        return {"base": w, "NV": nv_words, "VS": vs_words,
+                "ISA": w, "ALL": all_words}
+
+    def tally_data(self, tally: Tally, unit: Unit, words: np.ndarray,
+                   is_store: bool, blocked: str = "line",
+                   active: Optional[np.ndarray] = None) -> None:
+        w = np.asarray(words, dtype=np.uint32)
+        if active is not None and blocked == "warp":
+            n_active = int(np.count_nonzero(active))
+            if n_active == 0:
+                return
+            total = n_active * 32
+        else:
+            if w.size == 0:
+                return
+            total = w.size * 32
+        for variant, encoded in self.data_variants(unit, w, blocked,
+                                                   active).items():
+            if active is not None and blocked == "warp":
+                ones = hamming_weight(encoded[active])
+            else:
+                ones = hamming_weight(encoded)
+            tally.add(unit, variant, is_store, total - ones, ones)
+
+    # -- instruction stream ----------------------------------------------
+
+    def inst_variants(self, words: np.ndarray) -> Dict[str, np.ndarray]:
+        w = np.asarray(words, dtype=np.uint64)
+        encoded = self.isa.encode_words(w)
+        return {"base": w, "NV": w, "VS": w, "ISA": encoded, "ALL": encoded}
+
+    def tally_inst(self, tally: Tally, unit: Unit, words: np.ndarray,
+                   is_store: bool) -> None:
+        w = np.asarray(words, dtype=np.uint64)
+        if w.size == 0:
+            return
+        total = w.size * INST_BITS
+        for variant, encoded in self.inst_variants(w).items():
+            ones = hamming_weight(encoded, INST_BITS)
+            tally.add(unit, variant, is_store, total - ones, ones)
+
+
+class NoCStats:
+    """Per-channel consecutive-flit toggle counting, per variant.
+
+    Channels are physical serialisation points of the crossbar: one
+    request channel per L2 bank (all SMs' flits serialise at the bank's
+    input port) and one response channel per SM. Wormhole routing with
+    virtual-channel arbitration interleaves the flits of packets in
+    flight on the same channel; we model two VCs per channel, so a
+    packet's flits alternate on the wire with its neighbour's whenever
+    two packets overlap. Call :meth:`flush` after the last packet to
+    drain half-full channels.
+    """
+
+    def __init__(self, flit_bytes: int, virtual_channels: int = 2):
+        self.flit_bytes = flit_bytes
+        self.virtual_channels = virtual_channels
+        self.toggles: Dict[str, int] = {v: 0 for v in VARIANTS}
+        self.flits: int = 0
+        self._last: Dict[Tuple[str, int], Dict[str, np.ndarray]] = {}
+        self._pending: Dict[Tuple[str, int], Dict[str, list]] = {}
+
+    def _chunks(self, payload: np.ndarray) -> list:
+        n_bytes = payload.size
+        n_flits = max(1, -(-n_bytes // self.flit_bytes))
+        return [payload[i * self.flit_bytes:(i + 1) * self.flit_bytes]
+                for i in range(n_flits)]
+
+    def _transmit(self, channel: Tuple[str, int],
+                  chunk_lists: Dict[str, list]) -> None:
+        """Stream chunk sequences onto the wire and count toggles.
+
+        A partial flit leaves its unused wires holding their previous
+        values (idle bus lines do not switch), so toggles are only
+        counted on bytes actually driven.
+        """
+        n_flits = len(next(iter(chunk_lists.values())))
+        self.flits += n_flits
+        last = self._last.get(channel)
+        if last is None:
+            last = self._last[channel] = {
+                v: np.zeros(self.flit_bytes, dtype=np.uint8) for v in VARIANTS
+            }
+        for variant in VARIANTS:
+            prev = last[variant]
+            for chunk in chunk_lists[variant]:
+                flit = prev.copy()
+                flit[:chunk.size] = chunk
+                self.toggles[variant] += toggles_between(prev, flit)
+                prev = flit
+            last[variant] = prev
+
+    @staticmethod
+    def _interleave(a: list, b: list) -> list:
+        out = []
+        for i in range(max(len(a), len(b))):
+            if i < len(a):
+                out.append(a[i])
+            if i < len(b):
+                out.append(b[i])
+        return out
+
+    def send(self, channel: Tuple[str, int],
+             payload_variants: Dict[str, np.ndarray]) -> None:
+        """Transmit a packet: per-variant payload bytes on one channel."""
+        chunk_lists = {
+            variant: self._chunks(np.asarray(payload, dtype=np.uint8).ravel())
+            for variant, payload in payload_variants.items()
+        }
+        if self.virtual_channels < 2:
+            self._transmit(channel, chunk_lists)
+            return
+        pending = self._pending.pop(channel, None)
+        if pending is None:
+            self._pending[channel] = chunk_lists
+            return
+        merged = {
+            v: self._interleave(pending[v], chunk_lists[v]) for v in VARIANTS
+        }
+        self._transmit(channel, merged)
+
+    def flush(self) -> None:
+        """Drain packets still waiting for a VC partner."""
+        for channel, chunk_lists in sorted(self._pending.items()):
+            self._transmit(channel, chunk_lists)
+        self._pending.clear()
+
+    @property
+    def bit_slots(self) -> int:
+        """Total transmitted bit-times (for toggle-rate normalisation)."""
+        return self.flits * self.flit_bytes * 8
+
+    def toggle_rate(self, variant: str) -> float:
+        slots = self.bit_slots
+        return self.toggles[variant] / slots if slots else 0.0
+
+
+@dataclass
+class TimingStats:
+    """Coarse performance counters from the replay phase."""
+
+    cycles: int = 0
+    instructions: int = 0
+    lane_ops: int = 0
+    used_sms: int = 0
+    class_lane_ops: Dict[str, int] = field(default_factory=dict)
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    dram_accesses: int = 0
+    barriers: int = 0
+
+    def count_op(self, op_class: str, lanes: int) -> None:
+        self.instructions += 1
+        self.lane_ops += lanes
+        self.class_lane_ops[op_class] = (
+            self.class_lane_ops.get(op_class, 0) + lanes
+        )
+
+    @property
+    def l1d_hit_rate(self) -> float:
+        if not self.l1d_accesses:
+            return 0.0
+        return 1.0 - self.l1d_misses / self.l1d_accesses

@@ -1,0 +1,48 @@
+"""Circuit-level substrate: technology nodes, bitcells, array energies.
+
+This package is the repo's stand-in for the paper's Cadence/Spectre
+flow: an analytical switched-capacitance model that reproduces the
+bit-value energy asymmetries of 6T / 8T / BVF-8T SRAM and gain-cell
+eDRAM across process nodes and supply voltages.
+"""
+
+from .technology import (
+    TechnologyNode,
+    PState,
+    TECH_28NM,
+    TECH_40NM,
+    TECH_65NM,
+    TECH_BY_NAME,
+    PSTATES,
+    NOMINAL_PSTATE,
+    leakage_scale,
+)
+from .netlist import Netlist, Node, SwingEvent, TransientResult
+from .bitcell import (
+    AccessKind,
+    BitCell,
+    SRAM6T,
+    SRAM6TBVF,
+    SRAM8T,
+    BVF8T,
+    GainCellEDRAM,
+    CELL_TYPES,
+)
+from .array import ArrayGeometry, EnergyTable, SRAMArray, energy_table
+from .reliability import (
+    ReadDisturbance,
+    read_disturbance,
+    max_safe_cells_per_bitline,
+    sweep_cells_per_bitline,
+)
+
+__all__ = [
+    "TechnologyNode", "PState", "TECH_28NM", "TECH_40NM", "TECH_65NM",
+    "TECH_BY_NAME", "PSTATES", "NOMINAL_PSTATE", "leakage_scale",
+    "Netlist", "Node", "SwingEvent", "TransientResult",
+    "AccessKind", "BitCell", "SRAM6T", "SRAM6TBVF", "SRAM8T", "BVF8T",
+    "GainCellEDRAM", "CELL_TYPES",
+    "ArrayGeometry", "EnergyTable", "SRAMArray", "energy_table",
+    "ReadDisturbance", "read_disturbance", "max_safe_cells_per_bitline",
+    "sweep_cells_per_bitline",
+]

@@ -1,0 +1,206 @@
+"""SRAM array energy model built on the bitcell + netlist substrates.
+
+An array access touches far more than the bitcell: row decoders,
+wordline drivers, column muxes, sense amplifiers and write drivers all
+burn energy, and the dominant term is the bitline parasitic capacitance
+shared by every cell in a column (the paper cites >50% of SRAM dynamic
+power on the bitlines). This module composes an
+:class:`~repro.circuits.bitcell.BitCell` with an array geometry into
+absolute per-access energies, per bit value, via the switched-capacitance
+estimator.
+
+The resulting :class:`EnergyTable` is what the architecture-level power
+model consumes: fJ per read-0 / read-1 / write-0 / write-1 bit, plus
+standby leakage per stored bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict
+
+from .bitcell import AccessKind, BitCell, CELL_TYPES, GainCellEDRAM
+from .netlist import Netlist, SwingEvent
+from .technology import TechnologyNode, TECH_BY_NAME
+
+__all__ = ["ArrayGeometry", "EnergyTable", "SRAMArray", "energy_table"]
+
+# Fixed peripheral overheads, expressed as equivalent capacitance in
+# transistor-width units so they scale with technology.
+_SENSE_AMP_WIDTHS = 12.0      # per accessed column, read only
+_WRITE_DRIVER_WIDTHS = 10.0   # per accessed column, write only
+_DECODER_WIDTHS_PER_ROWBIT = 8.0  # per row-address bit
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Physical organisation of one SRAM (sub)array.
+
+    ``rows`` is the number of cells sharing a bitline (the paper's
+    "Set=32" figures use 32); ``word_bits`` is the number of columns
+    activated per access.
+    """
+
+    rows: int = 32
+    word_bits: int = 32
+
+    def __post_init__(self):
+        if self.rows < 1 or self.word_bits < 1:
+            raise ValueError("geometry dimensions must be positive")
+
+    @property
+    def row_address_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.rows)))
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-bit access energies (fJ) and per-cell leakage (W) for an array."""
+
+    cell_name: str
+    tech_name: str
+    vdd: float
+    read_fj: tuple          # (read bit-0, read bit-1)
+    write_fj: tuple         # (write bit-0, write bit-1)
+    leak_w_per_cell: tuple  # (storing 0, storing 1)
+
+    def access_fj(self, kind: AccessKind, bit: int) -> float:
+        table = self.read_fj if kind is AccessKind.READ else self.write_fj
+        return table[bit]
+
+    def energy_fj(self, n_read0: float, n_read1: float,
+                  n_write0: float, n_write1: float) -> float:
+        """Total dynamic energy for the given per-bit access counts."""
+        return (
+            n_read0 * self.read_fj[0] + n_read1 * self.read_fj[1]
+            + n_write0 * self.write_fj[0] + n_write1 * self.write_fj[1]
+        )
+
+    @property
+    def value_symmetric_read_fj(self) -> float:
+        """The conventional simulators' "Avg" assumption (Figures 5/6)."""
+        return 0.5 * (self.read_fj[0] + self.read_fj[1])
+
+    @property
+    def value_symmetric_write_fj(self) -> float:
+        return 0.5 * (self.write_fj[0] + self.write_fj[1])
+
+
+class SRAMArray:
+    """One SRAM array instance: cell type x geometry x node x voltage."""
+
+    def __init__(self, cell: BitCell, geometry: ArrayGeometry,
+                 tech: TechnologyNode, vdd: float = None):
+        if vdd is None:
+            vdd = tech.vdd_nominal
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        self.cell = cell
+        self.geometry = geometry
+        self.tech = tech
+        self.vdd = vdd
+
+    # ------------------------------------------------------------------
+    # Parasitics
+    # ------------------------------------------------------------------
+
+    def bitline_cap_ff(self, line: str) -> float:
+        """Total capacitance on one named bitline of a column."""
+        drains = self.cell.bitline_drains.get(line, 0)
+        junction = drains * self.cell.drain_cap_ff(self.tech) * self.geometry.rows
+        wire_um = self.geometry.rows * self.tech.cell_pitch_um
+        return junction + self.tech.wire_cap_ff(wire_um)
+
+    def wordline_cap_ff(self, kind: AccessKind) -> float:
+        """Capacitance on the asserted wordline across the word's columns."""
+        gates = self.cell.wordline_gates.get(kind, 0)
+        per_cell = gates * self.cell.gate_cap_ff(self.tech)
+        wire_um = self.geometry.word_bits * self.tech.cell_pitch_um
+        return per_cell * self.geometry.word_bits + self.tech.wire_cap_ff(wire_um)
+
+    def _peripheral_cap_ff(self, kind: AccessKind) -> float:
+        """Sense-amp / write-driver / decoder switched capacitance."""
+        unit = self.cell.gate_cap_ff(self.tech)
+        column = (_SENSE_AMP_WIDTHS if kind is AccessKind.READ
+                  else _WRITE_DRIVER_WIDTHS)
+        decoder = _DECODER_WIDTHS_PER_ROWBIT * self.geometry.row_address_bits
+        return column * unit + decoder * unit / self.geometry.word_bits
+
+    # ------------------------------------------------------------------
+    # Energies
+    # ------------------------------------------------------------------
+
+    def access_energy_fj(self, kind: AccessKind, bit: int) -> float:
+        """Energy of accessing one bit cell, including its share of the
+        wordline and peripheral energy (which is split across the word)."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        net = Netlist(vdd=self.vdd)
+        for line in self.cell.bitline_drains:
+            net.add_node(line, self.bitline_cap_ff(line))
+        net.add_node("wordline", self.wordline_cap_ff(kind))
+        net.add_node("peripheral", self._peripheral_cap_ff(kind))
+
+        events = []
+        for swing in self.cell.access_swings(kind, bit):
+            for _ in range(int(round(swing.cycles))):
+                events.extend(net.full_cycle(swing.line))
+        # The wordline pulses once per word access; amortise per bit.
+        events.extend(
+            SwingEvent(ev.node, ev.v_from, ev.v_to)
+            for ev in net.pulse("wordline")
+        )
+        events.extend(net.pulse("peripheral"))
+        result = net.evaluate(events)
+        wordline_fj = result.per_node_fj.get("wordline", 0.0)
+        shared = wordline_fj * (1.0 - 1.0 / self.geometry.word_bits)
+        return result.energy_fj - shared
+
+    def refresh_energy_fj(self, bit: int) -> float:
+        """Refresh energy per bit (gain-cell eDRAM only)."""
+        if not isinstance(self.cell, GainCellEDRAM):
+            raise TypeError("refresh applies only to eDRAM gain cells")
+        return (self.access_energy_fj(AccessKind.READ, bit)
+                + self.access_energy_fj(AccessKind.WRITE, bit))
+
+    def leakage_power_w(self, bit: int) -> float:
+        """Standby leakage of one cell at this array's voltage."""
+        return self.cell.leakage_power_w(bit, self.tech, self.vdd)
+
+    def energy_table(self) -> EnergyTable:
+        return EnergyTable(
+            cell_name=self.cell.name,
+            tech_name=self.tech.name,
+            vdd=self.vdd,
+            read_fj=(
+                self.access_energy_fj(AccessKind.READ, 0),
+                self.access_energy_fj(AccessKind.READ, 1),
+            ),
+            write_fj=(
+                self.access_energy_fj(AccessKind.WRITE, 0),
+                self.access_energy_fj(AccessKind.WRITE, 1),
+            ),
+            leak_w_per_cell=(
+                self.leakage_power_w(0),
+                self.leakage_power_w(1),
+            ),
+        )
+
+
+@lru_cache(maxsize=None)
+def energy_table(cell_name: str, tech_name: str, vdd: float,
+                 rows: int = 32, word_bits: int = 32) -> EnergyTable:
+    """Cached per-bit energy table lookup used across the power model."""
+    cell = CELL_TYPES.get(cell_name)
+    if cell is None:
+        raise KeyError(f"unknown cell type {cell_name!r}; "
+                       f"known: {sorted(CELL_TYPES)}")
+    tech = TECH_BY_NAME.get(tech_name)
+    if tech is None:
+        raise KeyError(f"unknown technology {tech_name!r}; "
+                       f"known: {sorted(TECH_BY_NAME)}")
+    array = SRAMArray(cell, ArrayGeometry(rows=rows, word_bits=word_bits),
+                      tech, vdd)
+    return array.energy_table()

@@ -1,0 +1,116 @@
+"""Switched-capacitance event estimator — the repo's Spectre substitute.
+
+The paper extracts per-access SRAM energies from transistor-level
+Spectre simulation on commercial PDKs. The dominant dynamic energy terms
+in an SRAM access are full-swing charge/discharge events on capacitive
+nodes (bitlines, wordlines, sense/driver internals), each costing
+``E = C * dV * Vdd`` drawn from the supply. We model an access as a
+netlist of named capacitive nodes plus a sequence of swing events and
+integrate exactly that.
+
+This deliberately ignores short-circuit current and sub-full-swing
+sensing detail; those are second-order for the asymmetries BVF exploits,
+which are *topological* (whether a bitline swings at all depends on the
+stored/written bit value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Node", "SwingEvent", "Netlist", "TransientResult"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A capacitive circuit node."""
+
+    name: str
+    capacitance_ff: float
+
+    def __post_init__(self):
+        if self.capacitance_ff < 0:
+            raise ValueError(f"node {self.name!r} has negative capacitance")
+
+
+@dataclass(frozen=True)
+class SwingEvent:
+    """A voltage transition on a node during one access.
+
+    ``v_from``/``v_to`` are absolute voltages. Energy drawn from the
+    supply is charged only for *rising* transitions (``C * dV * Vdd``);
+    falling transitions dump stored charge to ground. Precharge-based
+    arrays pay the rising cost when the line is restored, so attributing
+    energy to the rising edge books every full cycle exactly once.
+    """
+
+    node: str
+    v_from: float
+    v_to: float
+
+    @property
+    def delta_v(self) -> float:
+        return self.v_to - self.v_from
+
+
+@dataclass
+class TransientResult:
+    """Outcome of evaluating one access's event sequence."""
+
+    energy_fj: float
+    per_node_fj: Dict[str, float]
+
+    def dominated_by(self) -> str:
+        """Name of the node contributing the most energy."""
+        if not self.per_node_fj:
+            return "<none>"
+        return max(self.per_node_fj, key=self.per_node_fj.get)
+
+
+@dataclass
+class Netlist:
+    """A bag of capacitive nodes with an event-based energy evaluator."""
+
+    vdd: float
+    nodes: Dict[str, Node] = field(default_factory=dict)
+
+    def add_node(self, name: str, capacitance_ff: float) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        node = Node(name, capacitance_ff)
+        self.nodes[name] = node
+        return node
+
+    def add_parallel(self, name: str, *caps_ff: float) -> Node:
+        """Add a node whose capacitance is the sum of parallel parts."""
+        return self.add_node(name, sum(caps_ff))
+
+    def evaluate(self, events: List[SwingEvent]) -> TransientResult:
+        """Integrate supply energy over an access's swing events."""
+        per_node: Dict[str, float] = {}
+        for ev in events:
+            if ev.node not in self.nodes:
+                raise KeyError(f"unknown node {ev.node!r}")
+            if not (0.0 <= ev.v_from <= self.vdd + 1e-9):
+                raise ValueError(f"v_from out of rail range on {ev.node!r}")
+            if not (0.0 <= ev.v_to <= self.vdd + 1e-9):
+                raise ValueError(f"v_to out of rail range on {ev.node!r}")
+            rising = max(0.0, ev.delta_v)
+            energy = self.nodes[ev.node].capacitance_ff * rising * self.vdd
+            per_node[ev.node] = per_node.get(ev.node, 0.0) + energy
+        return TransientResult(sum(per_node.values()), per_node)
+
+    def full_cycle(self, node: str) -> List[SwingEvent]:
+        """Discharge-then-restore event pair for a precharged node."""
+        return [
+            SwingEvent(node, self.vdd, 0.0),
+            SwingEvent(node, 0.0, self.vdd),
+        ]
+
+    def pulse(self, node: str) -> List[SwingEvent]:
+        """Rise-then-fall event pair for an active-high pulsed node."""
+        return [
+            SwingEvent(node, 0.0, self.vdd),
+            SwingEvent(node, self.vdd, 0.0),
+        ]

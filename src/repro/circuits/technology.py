@@ -1,0 +1,125 @@
+"""Process-technology parameter sets and DVFS operating points.
+
+The paper evaluates two commercial nodes (28 nm and 40 nm PDKs) plus a
+65 nm GPUWattch baseline, at supply voltages from nominal 1.2 V down to
+near-threshold 0.6 V. We capture each node as a small set of first-order
+device/wire parameters sufficient for a switched-capacitance energy
+model: per-micron gate/drain/wire capacitances, drive currents, and
+subthreshold leakage. Absolute values are representative planar-CMOS
+figures; the *ratios* across nodes and voltages are what the experiments
+rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "TechnologyNode",
+    "PState",
+    "TECH_28NM",
+    "TECH_40NM",
+    "TECH_65NM",
+    "TECH_BY_NAME",
+    "PSTATES",
+    "NOMINAL_PSTATE",
+    "leakage_scale",
+]
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """First-order parameters of a planar CMOS process node."""
+
+    name: str
+    feature_nm: int
+    vdd_nominal: float          # volts
+    vth: float                  # threshold voltage, volts
+    cgate_ff_per_um: float      # gate capacitance, fF/um of width
+    cdrain_ff_per_um: float     # drain-junction capacitance, fF/um
+    cwire_ff_per_um: float      # wire capacitance, fF/um of length
+    ion_nmos_ua_per_um: float   # NMOS on-current at nominal Vdd, uA/um
+    ion_pmos_ua_per_um: float   # PMOS on-current at nominal Vdd, uA/um
+    ioff_nmos_na_per_um: float  # NMOS subthreshold leakage, nA/um
+    ioff_pmos_na_per_um: float  # PMOS subthreshold leakage, nA/um
+    cell_pitch_um: float        # SRAM cell pitch along the bitline
+    subthreshold_slope_mv: float = 90.0  # mV/decade, for leakage vs Vdd
+
+    def wire_cap_ff(self, length_um: float) -> float:
+        """Capacitance of a wire of the given length, in fF."""
+        return self.cwire_ff_per_um * length_um
+
+    def nmos_drive_ratio(self) -> float:
+        """NMOS:PMOS drive-strength ratio at equal sizing.
+
+        Section 6.3 relies on this being 1.5-2x: the BVF precharge swaps a
+        pull-up PMOS for a pull-down NMOS that can be sized ~2x smaller
+        for the same current, so the swap costs no area.
+        """
+        return self.ion_nmos_ua_per_um / self.ion_pmos_ua_per_um
+
+
+# Representative planar-CMOS figures. 28 nm is denser, lower-capacitance
+# and leakier per um than 40 nm; 65 nm is the GPUWattch reference node.
+TECH_28NM = TechnologyNode(
+    name="28nm", feature_nm=28, vdd_nominal=1.2, vth=0.42,
+    cgate_ff_per_um=0.85, cdrain_ff_per_um=0.55, cwire_ff_per_um=0.20,
+    ion_nmos_ua_per_um=1150.0, ion_pmos_ua_per_um=620.0,
+    ioff_nmos_na_per_um=12.0, ioff_pmos_na_per_um=7.5,
+    cell_pitch_um=0.50,
+)
+
+TECH_40NM = TechnologyNode(
+    name="40nm", feature_nm=40, vdd_nominal=1.2, vth=0.45,
+    cgate_ff_per_um=1.00, cdrain_ff_per_um=0.70, cwire_ff_per_um=0.23,
+    ion_nmos_ua_per_um=980.0, ion_pmos_ua_per_um=520.0,
+    ioff_nmos_na_per_um=9.0, ioff_pmos_na_per_um=5.5,
+    cell_pitch_um=0.70,
+)
+
+TECH_65NM = TechnologyNode(
+    name="65nm", feature_nm=65, vdd_nominal=1.2, vth=0.48,
+    cgate_ff_per_um=1.35, cdrain_ff_per_um=0.95, cwire_ff_per_um=0.27,
+    ion_nmos_ua_per_um=800.0, ion_pmos_ua_per_um=420.0,
+    ioff_nmos_na_per_um=2.5, ioff_pmos_na_per_um=1.6,
+    cell_pitch_um=1.10,
+)
+
+TECH_BY_NAME = {t.name: t for t in (TECH_28NM, TECH_40NM, TECH_65NM)}
+
+
+@dataclass(frozen=True)
+class PState:
+    """A DVFS operating point (Section 6.2-A)."""
+
+    name: str
+    vdd: float
+    freq_mhz: int
+
+    @property
+    def freq_hz(self) -> float:
+        return self.freq_mhz * 1e6
+
+
+# The paper's three tested P-states: 700 MHz/1.2 V, 500/0.9, 300/0.6.
+PSTATES = (
+    PState("P0", 1.2, 700),
+    PState("P1", 0.9, 500),
+    PState("P2", 0.6, 300),
+)
+NOMINAL_PSTATE = PSTATES[0]
+
+
+def leakage_scale(tech: TechnologyNode, vdd: float) -> float:
+    """Leakage-current scale factor at ``vdd`` relative to nominal.
+
+    Subthreshold leakage falls roughly exponentially with reduced
+    drain-induced barrier lowering as Vdd drops (short-channel effect,
+    Section 6.2-A): the paper cites >60x leakage reduction from 1.2 V to
+    0.41 V, i.e. about two decades per 0.8 V of scaling.
+    """
+    if vdd <= 0:
+        raise ValueError("vdd must be positive")
+    dibl_decades_per_volt = 2.4
+    return math.pow(10.0, -dibl_decades_per_volt * (tech.vdd_nominal - vdd))

@@ -1,0 +1,70 @@
+"""The paper's primary contribution: BVF coders, spaces and objective."""
+
+from .bitutils import (
+    WORD_BITS,
+    INST_BITS,
+    popcount32,
+    popcount64,
+    hamming_weight,
+    hamming_distance,
+    count_bits,
+    leading_zeros32,
+    signed_leading_zeros32,
+    bit_plane_counts,
+    words_to_bytes,
+    bytes_to_words,
+    pack_flits,
+    toggles_between,
+    float_to_bits,
+    bits_to_float,
+)
+from .spaces import (
+    Unit,
+    BVFSpace,
+    CODER_SPACES,
+    units_for_coder,
+    coders_for_unit,
+    DATA_UNITS,
+    INSTRUCTION_UNITS,
+)
+from .coders import (
+    Coder,
+    IdentityCoder,
+    NVCoder,
+    VSCoder,
+    ISACoder,
+    ComposedCoder,
+    DEFAULT_PIVOT_LANE,
+    xnor,
+)
+from .masks import REFERENCE_MASKS, derive_mask, mask_to_hex, bit_preference
+from .objective import (
+    EncodingGain,
+    encoding_gain,
+    hamming_objective,
+    expected_access_energy_fj,
+)
+from .overhead import (
+    CoderInventory,
+    OverheadReport,
+    count_xnor_gates,
+    overhead_report,
+    PAPER_XNOR_COUNT,
+)
+
+__all__ = [
+    "WORD_BITS", "INST_BITS", "popcount32", "popcount64", "hamming_weight",
+    "hamming_distance", "count_bits", "leading_zeros32",
+    "signed_leading_zeros32", "bit_plane_counts", "words_to_bytes",
+    "bytes_to_words", "pack_flits", "toggles_between", "float_to_bits",
+    "bits_to_float",
+    "Unit", "BVFSpace", "CODER_SPACES", "units_for_coder", "coders_for_unit",
+    "DATA_UNITS", "INSTRUCTION_UNITS",
+    "Coder", "IdentityCoder", "NVCoder", "VSCoder", "ISACoder",
+    "ComposedCoder", "DEFAULT_PIVOT_LANE", "xnor",
+    "REFERENCE_MASKS", "derive_mask", "mask_to_hex", "bit_preference",
+    "EncodingGain", "encoding_gain", "hamming_objective",
+    "expected_access_energy_fj",
+    "CoderInventory", "OverheadReport", "count_xnor_gates",
+    "overhead_report", "PAPER_XNOR_COUNT",
+]

@@ -1,0 +1,82 @@
+"""The BVF unified objective function and encoding-gain metrics.
+
+Section 3.3 frames BVF optimisation as: find an invertible transform
+``f: B -> E`` over bit strings that maximises ``sum(e_i)`` — the Hamming
+weight of the encoded stream. These helpers score candidate coders
+against that objective and quantify the downstream effects (bit-1
+fraction, expected access-energy ratio, toggle deltas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitutils import WORD_BITS, count_bits
+from ..circuits.array import EnergyTable
+from ..circuits.bitcell import AccessKind
+
+__all__ = ["EncodingGain", "encoding_gain", "hamming_objective",
+           "expected_access_energy_fj"]
+
+
+def hamming_objective(words, bits: int = WORD_BITS) -> int:
+    """The raw BVF objective: total number of bit-1s in the stream."""
+    __, ones = count_bits(words, bits)
+    return ones
+
+
+@dataclass(frozen=True)
+class EncodingGain:
+    """Before/after bit statistics for one coder on one stream."""
+
+    bits: int
+    baseline_ones: int
+    encoded_ones: int
+    total_bits: int
+
+    @property
+    def baseline_one_fraction(self) -> float:
+        return self.baseline_ones / self.total_bits if self.total_bits else 0.0
+
+    @property
+    def encoded_one_fraction(self) -> float:
+        return self.encoded_ones / self.total_bits if self.total_bits else 0.0
+
+    @property
+    def gained_ones(self) -> int:
+        return self.encoded_ones - self.baseline_ones
+
+    @property
+    def improves(self) -> bool:
+        """Whether the coder moved the stream toward the BVF objective."""
+        return self.encoded_ones >= self.baseline_ones
+
+
+def encoding_gain(baseline_words, encoded_words,
+                  bits: int = WORD_BITS) -> EncodingGain:
+    """Score an encoding against the BVF objective."""
+    base = np.asarray(baseline_words)
+    enc = np.asarray(encoded_words)
+    if base.size != enc.size:
+        raise ValueError("baseline and encoded streams differ in size")
+    __, base_ones = count_bits(base, bits)
+    __, enc_ones = count_bits(enc, bits)
+    return EncodingGain(bits=bits, baseline_ones=base_ones,
+                        encoded_ones=enc_ones, total_bits=base.size * bits)
+
+
+def expected_access_energy_fj(table: EnergyTable, kind: AccessKind,
+                              one_fraction: float) -> float:
+    """Expected per-bit access energy at a given bit-1 probability.
+
+    This is the bridge from the architectural objective (more 1s) to
+    the circuit-level payoff: on a BVF cell the expected energy falls
+    linearly as the bit-1 fraction rises.
+    """
+    if not 0.0 <= one_fraction <= 1.0:
+        raise ValueError("one_fraction must be within [0, 1]")
+    e0 = table.access_fj(kind, 0)
+    e1 = table.access_fj(kind, 1)
+    return (1.0 - one_fraction) * e0 + one_fraction * e1

@@ -1,0 +1,99 @@
+"""BVF spaces: which on-chip units share which coding format (Table 1).
+
+A *BVF memory* is a physical memory whose cells favour one bit value; a
+*BVF space* is a set of units (SRAM structures, NoC links, buffers) that
+all store/transmit data in the same encoded format, so a single
+encoder/decoder pair at the space's ports suffices — no per-unit
+metadata or extra bitlines (Section 3.3).
+
+Two properties the paper requires, both enforced here:
+
+I.  every port of a space uses the same coder;
+II. overlapping spaces must not corrupt each other — guaranteed because
+    all three coders are XNOR involutions and compose commutatively per
+    bit position, so a unit inside several spaces stores the composed
+    encoding and each space's decode recovers its own layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = ["Unit", "BVFSpace", "CODER_SPACES", "units_for_coder",
+           "coders_for_unit", "DATA_UNITS", "INSTRUCTION_UNITS"]
+
+
+class Unit(enum.Enum):
+    """On-chip hardware units that can join a BVF space (Figure 7)."""
+
+    REG = "register file"
+    SME = "shared memory"
+    L1D = "L1 data cache"
+    L1I = "L1 instruction cache"
+    L1C = "constant cache"
+    L1T = "texture cache"
+    L2 = "unified L2 cache"
+    NOC = "network-on-chip"
+    IFB = "instruction fetch buffer"
+
+
+#: Units that carry the data stream (black arrows in Figure 7).
+DATA_UNITS: FrozenSet[Unit] = frozenset(
+    {Unit.REG, Unit.SME, Unit.L1D, Unit.L1C, Unit.L1T, Unit.L2, Unit.NOC}
+)
+
+#: Units that carry the instruction stream (red arrows in Figure 7).
+INSTRUCTION_UNITS: FrozenSet[Unit] = frozenset(
+    {Unit.IFB, Unit.L1I, Unit.NOC, Unit.L2}
+)
+
+
+@dataclass(frozen=True)
+class BVFSpace:
+    """A named BVF space: the units covered by one coder."""
+
+    coder_abbr: str
+    units: FrozenSet[Unit]
+
+    def covers(self, unit: Unit) -> bool:
+        return unit in self.units
+
+    def overlap(self, other: "BVFSpace") -> FrozenSet[Unit]:
+        return self.units & other.units
+
+
+# Table 1: coder effective spaces.
+CODER_SPACES: Dict[str, BVFSpace] = {
+    "NV": BVFSpace("NV", frozenset({
+        Unit.REG, Unit.SME, Unit.L1D, Unit.L1T, Unit.L1C, Unit.NOC, Unit.L2,
+    })),
+    "VS": BVFSpace("VS", frozenset({
+        Unit.REG, Unit.L1D, Unit.L1T, Unit.L1C, Unit.NOC, Unit.L2,
+    })),
+    "ISA": BVFSpace("ISA", frozenset({
+        Unit.IFB, Unit.L1I, Unit.NOC, Unit.L2,
+    })),
+}
+
+
+def units_for_coder(abbr: str) -> FrozenSet[Unit]:
+    """Units covered by the named coder (raises on unknown coder)."""
+    try:
+        return CODER_SPACES[abbr].units
+    except KeyError:
+        raise KeyError(
+            f"unknown coder {abbr!r}; known: {sorted(CODER_SPACES)}"
+        ) from None
+
+
+def coders_for_unit(unit: Unit) -> Tuple[str, ...]:
+    """Coders whose space includes ``unit``, in application order.
+
+    NV is applied first (at the memory-controller ports, the outermost
+    interface), then VS (within the chip), with ISA applying only to the
+    instruction stream.
+    """
+    order = ("NV", "VS", "ISA")
+    return tuple(a for a in order if unit in CODER_SPACES[a].units)

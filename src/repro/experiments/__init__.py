@@ -1,0 +1,30 @@
+"""Per-table/figure experiment drivers regenerating the paper's results."""
+
+from .base import ExperimentResult, format_table, default_apps
+from .registry import EXPERIMENTS, run_experiment, run_all
+from .circuit_experiments import (fig01_power_efficiency,
+                                  fig05_06_access_energy, leakage_asymmetry,
+                                  discussion_6t_reliability,
+                                  discussion_edram)
+from .profiling_experiments import (fig08_narrow_value, fig09_bit_ratio,
+                                    fig11_lane_hamming, fig12_pivot_quality,
+                                    fig14_isa_bits, table2_masks)
+from .energy_experiments import (fig16_17_component_energy,
+                                 fig18_19_chip_energy, fig20_dvfs,
+                                 fig21_schedulers, fig22_capacity,
+                                 fig23_6t_vs_8t, overhead_table)
+from .ablation_experiments import (ablation_bus_invert, ablation_isa_mask,
+                                   ablation_pivot_lane)
+
+__all__ = [
+    "ExperimentResult", "format_table", "default_apps",
+    "EXPERIMENTS", "run_experiment", "run_all",
+    "fig01_power_efficiency", "fig05_06_access_energy",
+    "leakage_asymmetry", "discussion_6t_reliability", "discussion_edram",
+    "fig08_narrow_value", "fig09_bit_ratio", "fig11_lane_hamming",
+    "fig12_pivot_quality", "fig14_isa_bits", "table2_masks",
+    "fig16_17_component_energy", "fig18_19_chip_energy", "fig20_dvfs",
+    "fig21_schedulers", "fig22_capacity", "fig23_6t_vs_8t",
+    "overhead_table",
+    "ablation_bus_invert", "ablation_isa_mask", "ablation_pivot_lane",
+]

@@ -1,0 +1,61 @@
+"""Common infrastructure for the per-table/figure experiment drivers.
+
+Every experiment produces an :class:`ExperimentResult`: a titled table
+of rows plus the paper's expected values, so the benchmark harness can
+print exactly the rows/series the paper reports and EXPERIMENTS.md can
+record paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "default_apps"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    exp_id: str                  # e.g. "fig18"
+    title: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    paper_expectation: str = ""
+    notes: str = ""
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.paper_expectation:
+            parts.append(f"paper: {self.paper_expectation}")
+        parts.append(format_table(self.headers, self.rows))
+        if self.summary:
+            pairs = ", ".join(f"{k}={v:.4g}" for k, v in self.summary.items())
+            parts.append(f"summary: {pairs}")
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def default_apps(apps: Optional[Sequence] = None) -> list:
+    """Resolve an app list argument (None means the full 58-app suite)."""
+    if apps is not None:
+        return list(apps)
+    from ..kernels import all_apps
+    return all_apps()

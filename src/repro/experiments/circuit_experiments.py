@@ -1,0 +1,153 @@
+"""Circuit-level experiments: Figures 1, 5, 6 and the Section-3.1/7
+leakage, reliability and eDRAM results.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult
+from ..circuits import (AccessKind, CELL_TYPES, GainCellEDRAM, SRAMArray,
+                        ArrayGeometry, TECH_28NM, TECH_40NM, TECH_BY_NAME,
+                        energy_table, max_safe_cells_per_bitline,
+                        sweep_cells_per_bitline)
+
+__all__ = ["fig01_power_efficiency", "fig05_06_access_energy",
+           "leakage_asymmetry", "discussion_6t_reliability",
+           "discussion_edram"]
+
+# Figure 1 context data: NVIDIA Tesla HPC parts, single-precision peak
+# Gflops per watt of TDP, from the public datasheets the paper plots.
+_TESLA_EFFICIENCY = [
+    ("C1060", 2009, 933 / 188),
+    ("C2050", 2010, 1030 / 238),
+    ("K20X", 2012, 3935 / 235),
+    ("K40", 2013, 4290 / 235),
+    ("K80", 2014, 8740 / 300),
+    ("M40", 2015, 7000 / 250),
+    ("P100", 2016, 18700 / 300),
+]
+
+
+def fig01_power_efficiency() -> ExperimentResult:
+    """Fig 1: Tesla power efficiency crosses 50 Gflops/W by 2016."""
+    rows = [(name, year, f"{eff:.1f}") for name, year, eff in
+            _TESLA_EFFICIENCY]
+    crossed = [name for name, __, eff in _TESLA_EFFICIENCY if eff >= 50.0]
+    return ExperimentResult(
+        exp_id="fig01",
+        title="GPU power efficiency by generation (Gflops/W)",
+        headers=["GPU", "year", "Gflops/W"],
+        rows=rows,
+        paper_expectation="efficiency rises each generation and passes "
+                          "the 50 Gflops/W Exascale target in 2016",
+        summary={"first_over_50_year": 2016.0 if crossed else 0.0},
+    )
+
+
+def fig05_06_access_energy(tech_name: str = "28nm",
+                           rows_per_bitline: int = 32) -> ExperimentResult:
+    """Figures 5/6: per-access energy by cell, bit value and voltage.
+
+    Normalised to conventional-8T read-0 at nominal voltage, matching
+    the paper's presentation ("Avg" is the value-agnostic assumption of
+    conventional simulators).
+    """
+    tech = TECH_BY_NAME[tech_name]
+    voltages = [1.2, 0.6]
+    ref = energy_table("8T", tech_name, 1.2, rows=rows_per_bitline)
+    norm = ref.read_fj[0]
+    table_rows = []
+    for vdd in voltages:
+        for cell in ("6T", "8T", "BVF-8T"):
+            if cell == "6T" and vdd < 1.0:
+                continue    # 6T cannot operate near threshold (Sec 2.1)
+            t = energy_table(cell, tech_name, vdd, rows=rows_per_bitline)
+            table_rows.append([
+                f"{vdd:.1f}V", cell,
+                f"{t.read_fj[0] / norm:.3f}", f"{t.read_fj[1] / norm:.3f}",
+                f"{t.write_fj[0] / norm:.3f}", f"{t.write_fj[1] / norm:.3f}",
+                f"{t.value_symmetric_read_fj / norm:.3f}",
+            ])
+    bvf = energy_table("BVF-8T", tech_name, 1.2, rows=rows_per_bitline)
+    conv = energy_table("8T", tech_name, 1.2, rows=rows_per_bitline)
+    return ExperimentResult(
+        exp_id="fig05" if tech_name == "28nm" else "fig06",
+        title=f"single-access energy, {tech_name}, Set={rows_per_bitline} "
+              "(normalised to Conv-8T read-0 @1.2V)",
+        headers=["Vdd", "cell", "read0", "read1", "write0", "write1",
+                 "avg-read"],
+        rows=table_rows,
+        paper_expectation="Conv-8T reads 1 far cheaper than 0; BVF-8T "
+                          "additionally writes 1 nearly free while a "
+                          "write-0 miss doubles write energy; asymmetry "
+                          "consistent across voltages and nodes",
+        summary={
+            "read1_over_read0": bvf.read_fj[1] / bvf.read_fj[0],
+            "write1_over_write0": bvf.write_fj[1] / bvf.write_fj[0],
+            "bvf_write0_over_8t_write0": bvf.write_fj[0] / conv.write_fj[0],
+        },
+    )
+
+
+def leakage_asymmetry(tech_name: str = "28nm") -> ExperimentResult:
+    """Section 3.1: BVF-8T leakage deltas vs conventional 8T."""
+    bvf = energy_table("BVF-8T", tech_name, 1.2)
+    conv = energy_table("8T", tech_name, 1.2)
+    d0 = 1.0 - bvf.leak_w_per_cell[0] / conv.leak_w_per_cell[0]
+    d1 = 1.0 - bvf.leak_w_per_cell[1] / conv.leak_w_per_cell[1]
+    d10 = 1.0 - bvf.leak_w_per_cell[1] / bvf.leak_w_per_cell[0]
+    rows = [
+        ["BVF-8T vs 8T, storing 0", f"{d0:.2%}", "0.43%"],
+        ["BVF-8T vs 8T, storing 1", f"{d1:.2%}", "3.01%"],
+        ["BVF-8T storing 1 vs storing 0", f"{d10:.2%}", "9.61%"],
+    ]
+    return ExperimentResult(
+        exp_id="sec3.1-leakage",
+        title=f"standby leakage asymmetry, {tech_name}",
+        headers=["comparison", "measured reduction", "paper"],
+        rows=rows,
+        summary={"delta0": d0, "delta1": d1, "bit1_vs_bit0": d10},
+    )
+
+
+def discussion_6t_reliability() -> ExperimentResult:
+    """Section 7.1: the BVF 6T retrofit fails beyond 16 cells/bitline."""
+    sweep = sweep_cells_per_bitline((4, 8, 12, 16, 17, 24, 32, 64, 128),
+                                    TECH_28NM)
+    rows = [[d.cells_per_bitline, f"{d.disturbance_v:.3f}",
+             f"{d.snm_v:.3f}", "FLIP" if d.flips else "safe"]
+            for d in sweep]
+    limit = max_safe_cells_per_bitline(TECH_28NM)
+    return ExperimentResult(
+        exp_id="sec7.1",
+        title="6T-BVF destructive-read analysis, 28nm",
+        headers=["cells/bitline", "disturbance (V)", "SNM (V)", "verdict"],
+        rows=rows,
+        paper_expectation="reading 0 flips the cell once a bitline is "
+                          "shared by more than 16 cells",
+        summary={"max_safe_cells": float(limit)},
+    )
+
+
+def discussion_edram() -> ExperimentResult:
+    """Section 7.2: the 3T gain cell favours 1 for read, write, refresh."""
+    rows = []
+    summary = {}
+    for tech in (TECH_28NM, TECH_40NM):
+        array = SRAMArray(CELL_TYPES["eDRAM-3T"], ArrayGeometry(), tech)
+        r0 = array.access_energy_fj(AccessKind.READ, 0)
+        r1 = array.access_energy_fj(AccessKind.READ, 1)
+        w0 = array.access_energy_fj(AccessKind.WRITE, 0)
+        w1 = array.access_energy_fj(AccessKind.WRITE, 1)
+        f0 = array.refresh_energy_fj(0)
+        f1 = array.refresh_energy_fj(1)
+        rows.append([tech.name, f"{r1 / r0:.3f}", f"{w1 / w0:.3f}",
+                     f"{f1 / f0:.3f}"])
+        summary[f"refresh1_over_refresh0_{tech.name}"] = f1 / f0
+    return ExperimentResult(
+        exp_id="sec7.2",
+        title="gain-cell eDRAM bit-value favour (energy of 1 / energy of 0)",
+        headers=["node", "read", "write", "refresh"],
+        rows=rows,
+        paper_expectation="all three ratios well below 1: the eDRAM gain "
+                          "cell exhibits BVF for read, write and refresh",
+    )

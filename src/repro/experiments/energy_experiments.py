@@ -1,0 +1,275 @@
+"""Energy-evaluation experiments: Figures 16-23 and the Section-6.3
+overhead table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ExperimentResult, default_apps
+from ..arch.config import BASELINE_CONFIG, CAPACITY_CONFIGS, SCHEDULERS
+from ..circuits.technology import PSTATES, TECH_28NM, TECH_40NM, TECH_BY_NAME
+from ..core.overhead import PAPER_XNOR_COUNT, count_xnor_gates, overhead_report
+from ..core.spaces import Unit
+from ..power import BVF_CELL, BASELINE_CELL, ChipModel
+from ..sim import simulate_suite
+
+__all__ = ["fig16_17_component_energy", "fig18_19_chip_energy",
+           "fig20_dvfs", "fig21_schedulers", "fig22_capacity",
+           "fig23_6t_vs_8t", "overhead_table"]
+
+_COMPONENT_UNITS = (Unit.REG, Unit.SME, Unit.L1D, Unit.L1I, Unit.L1C,
+                    Unit.L1T, Unit.L2, Unit.NOC)
+
+#: Coder-alone variants and the full design, as in Figures 16/17.
+_CODER_VARIANTS = ("NV", "VS", "ISA", "ALL")
+
+
+def fig16_17_component_energy(tech_name: str = "28nm",
+                              apps=None) -> ExperimentResult:
+    """Figures 16/17: per-unit energy under each coder, normalised."""
+    suite = simulate_suite(default_apps(apps))
+    model = ChipModel(tech_name)
+    rows = []
+    summary = {}
+    for unit in _COMPONENT_UNITS:
+        base = np.array([
+            model.unit_energy(s, unit, BASELINE_CELL, "base").total_j
+            for s in suite.apps.values()
+        ])
+        keep = base > 0
+        row = [unit.name]
+        for variant in _CODER_VARIANTS:
+            enc = np.array([
+                model.unit_energy(s, unit, BVF_CELL, variant).total_j
+                for s in suite.apps.values()
+            ])
+            ratio = float(np.mean(enc[keep] / base[keep])) if keep.any() else 1.0
+            row.append(f"{ratio:.3f}")
+            if variant == "ALL":
+                summary[f"{unit.name}_reduction"] = 1.0 - ratio
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="fig16" if tech_name == "28nm" else "fig17",
+        title=f"component energy with BVF cells + coders, {tech_name} "
+              "(normalised to conventional-8T baseline; lower is better)",
+        headers=["unit"] + [f"{v} coder" for v in _CODER_VARIANTS],
+        rows=rows,
+        paper_expectation="NV strongest on REG/SME/L1T (no effect on L1I); "
+                          "VS covers REG and the cache hierarchy + NoC; "
+                          "ISA only moves the instruction path; NoC saves "
+                          "~20%, driven by the VS encoder",
+        summary=summary,
+    )
+
+
+def _chip_rows(suite, model):
+    rows, reds = [], []
+    for name in suite.app_names:
+        stats = suite.apps[name]
+        base = model.baseline(stats)
+        bvf = model.bvf(stats)
+        red = bvf.reduction_vs(base)
+        reds.append(red)
+        rows.append([name, f"{base.total_j:.3e}", f"{bvf.total_j:.3e}",
+                     f"{red:.1%}"])
+    return rows, reds
+
+
+def fig18_19_chip_energy(tech_name: str = "28nm",
+                         apps=None) -> ExperimentResult:
+    """Figures 18/19: per-app chip energy, baseline vs BVF design."""
+    suite = simulate_suite(default_apps(apps))
+    model = ChipModel(tech_name)
+    rows, reds = _chip_rows(suite, model)
+    mean = float(np.mean(reds))
+    rows.append(["AVG", "-", "-", f"{mean:.1%}"])
+    expected = "21%" if tech_name == "28nm" else "24%"
+    return ExperimentResult(
+        exp_id="fig18" if tech_name == "28nm" else "fig19",
+        title=f"chip-level energy, {tech_name}: baseline vs BVF design",
+        headers=["app", "baseline (J)", "BVF (J)", "reduction"],
+        rows=rows,
+        paper_expectation=f"average chip energy reduction ~{expected}; "
+                          "memory-intensive apps (ATA, BFS, BIC, CON, COR, "
+                          "GES, SYK, SYR, MD) gain most, compute-bound "
+                          "apps (BLA, CP, DXT, LIB, NQU, PAR, PAT, SGE) "
+                          "least",
+        summary={"mean_reduction": mean,
+                 "max_reduction": float(np.max(reds)),
+                 "min_reduction": float(np.min(reds))},
+    )
+
+
+def fig20_dvfs(apps=None) -> ExperimentResult:
+    """Figure 20: savings hold across DVFS operating points."""
+    suite = simulate_suite(default_apps(apps))
+    norm = None
+    rows = []
+    summary = {}
+    for tech_name in ("40nm", "28nm"):
+        for pstate in PSTATES:
+            model = ChipModel(tech_name, vdd=pstate.vdd)
+            base = np.array([model.baseline(s).total_j
+                             for s in suite.apps.values()])
+            bvf = np.array([model.bvf(s).total_j
+                            for s in suite.apps.values()])
+            if norm is None:
+                norm = base.mean()   # 40 nm 1.2 V baseline, as the paper
+            red = float(1.0 - bvf.sum() / base.sum())
+            rows.append([tech_name, f"{pstate.vdd:.1f}V",
+                         f"{pstate.freq_mhz}MHz",
+                         f"{base.mean() / norm:.3f}",
+                         f"{bvf.mean() / norm:.3f}", f"{red:.1%}"])
+            summary[f"reduction_{tech_name}_{pstate.name}"] = red
+    return ExperimentResult(
+        exp_id="fig20",
+        title="average chip energy under DVFS (normalised to 40nm 1.2V "
+              "baseline)",
+        headers=["node", "Vdd", "freq", "baseline", "BVF", "reduction"],
+        rows=rows,
+        paper_expectation="the BVF reduction percentage is consistent "
+                          "across the three P-states on both nodes",
+        summary=summary,
+    )
+
+
+def fig21_schedulers(apps=None) -> ExperimentResult:
+    """Figure 21: savings hold across warp schedulers."""
+    apps = default_apps(apps)
+    rows = []
+    summary = {}
+    norm = None
+    for tech_name in ("40nm", "28nm"):
+        for sched in SCHEDULERS:
+            config = BASELINE_CONFIG.with_scheduler(sched)
+            suite = simulate_suite(apps, config=config)
+            model = ChipModel(tech_name, config=config)
+            base = np.array([model.baseline(s).total_j
+                             for s in suite.apps.values()])
+            bvf = np.array([model.bvf(s).total_j
+                            for s in suite.apps.values()])
+            if norm is None:
+                norm = base.mean()   # 40 nm GTO baseline, as the paper
+            red = float(1.0 - bvf.sum() / base.sum())
+            rows.append([tech_name, sched, f"{base.mean() / norm:.3f}",
+                         f"{bvf.mean() / norm:.3f}", f"{red:.1%}"])
+            summary[f"reduction_{tech_name}_{sched}"] = red
+    return ExperimentResult(
+        exp_id="fig21",
+        title="average chip energy under GTO / LRR / two-level schedulers "
+              "(normalised to 40nm GTO baseline)",
+        headers=["node", "scheduler", "baseline", "BVF", "reduction"],
+        rows=rows,
+        paper_expectation="the BVF reduction ratio stays consistent "
+                          "across schedulers (LRR/two-level baselines run "
+                          "slightly higher than GTO)",
+        summary=summary,
+    )
+
+
+def fig22_capacity(apps=None) -> ExperimentResult:
+    """Figure 22 + Table 4: savings on BVF units across SRAM capacities."""
+    apps = default_apps(apps)
+    rows = []
+    summary = {}
+    for gpu_name, config in CAPACITY_CONFIGS.items():
+        suite = simulate_suite(apps, config=config)
+        for tech_name in ("40nm", "28nm"):
+            model = ChipModel(tech_name, config=config)
+            base = np.array([model.baseline(s).bvf_units_j()
+                             for s in suite.apps.values()])
+            bvf = np.array([model.bvf(s).bvf_units_j()
+                            for s in suite.apps.values()])
+            red = float(1.0 - bvf.sum() / base.sum())
+            rows.append([gpu_name, tech_name, f"{red:.1%}"])
+            summary[f"reduction_{gpu_name}_{tech_name}"] = red
+    return ExperimentResult(
+        exp_id="fig22",
+        title="BVF-unit energy reduction across Table-4 SRAM capacities",
+        headers=["capacity config", "node", "BVF-unit reduction"],
+        rows=rows,
+        paper_expectation="consistently high reduction on the BVF units "
+                          "(~52% at 40nm, ~48% at 28nm) regardless of "
+                          "capacity generation",
+        summary=summary,
+    )
+
+
+def fig23_6t_vs_8t(apps=None) -> ExperimentResult:
+    """Figure 23: 6T vs 8T vs BVF-8T, nominal and near-threshold."""
+    suite = simulate_suite(default_apps(apps))
+    rows = []
+    summary = {}
+    operating_points = [
+        ("6T", "base", "40nm", 1.2), ("8T", "base", "40nm", 1.2),
+        ("BVF-8T", "ALL", "40nm", 1.2), ("8T", "base", "40nm", 0.6),
+        ("BVF-8T", "ALL", "40nm", 0.6),
+        ("6T", "base", "28nm", 1.2), ("8T", "base", "28nm", 1.2),
+        ("BVF-8T", "ALL", "28nm", 1.2), ("8T", "base", "28nm", 0.6),
+        ("BVF-8T", "ALL", "28nm", 0.6),
+    ]
+    norm = None
+    for cell, variant, tech_name, vdd in operating_points:
+        model = ChipModel(tech_name, vdd=vdd)
+        totals = []
+        for stats in suite.apps.values():
+            chip = model.evaluate(stats, cell, variant,
+                                  include_overhead=(variant == "ALL"))
+            totals.append(chip.total_j)
+        mean = float(np.mean(totals))
+        if norm is None:
+            norm = mean            # 40 nm 1.2 V 6T, as the paper
+        rows.append([tech_name, f"{vdd:.1f}V", cell, f"{mean / norm:.3f}"])
+        summary[f"{cell}_{tech_name}_{vdd:.1f}"] = mean / norm
+    for tech in ("40nm", "28nm"):
+        six = summary[f"6T_{tech}_1.2"]
+        bvf = summary[f"BVF-8T_{tech}_1.2"]
+        summary[f"bvf_vs_6t_{tech}"] = 1.0 - bvf / six
+    return ExperimentResult(
+        exp_id="fig23",
+        title="chip energy: 6T vs 8T vs BVF-8T (normalised to 40nm 1.2V 6T)",
+        headers=["node", "Vdd", "cell", "relative chip energy"],
+        rows=rows,
+        paper_expectation="BVF-8T beats 6T by ~31.6%/32.7% (28/40nm) at "
+                          "1.2V; deep-DVFS 0.6V (which 6T cannot reach) "
+                          "yields large further savings",
+        summary=summary,
+    )
+
+
+def overhead_table() -> ExperimentResult:
+    """Section 6.3: coder hardware overhead."""
+    inventory = count_xnor_gates(BASELINE_CONFIG.n_sms,
+                                 BASELINE_CONFIG.n_mem_channels,
+                                 BASELINE_CONFIG.noc_flit_bytes * 8)
+    rows = [["XNOR gates", str(inventory.total_gates),
+             str(PAPER_XNOR_COUNT)]]
+    summary = {"gates": float(inventory.total_gates),
+               "gate_ratio_vs_paper":
+                   inventory.total_gates / PAPER_XNOR_COUNT}
+    paper = {"28nm": ("46.5 mW", "18.7 uW", "0.207 mm2"),
+             "40nm": ("60.5 mW", "24.2 uW", "0.294 mm2")}
+    for tech in (TECH_28NM, TECH_40NM):
+        report = overhead_report(tech, inventory)
+        dyn, stat, area = paper[tech.name]
+        rows.append([f"dynamic power {tech.name}",
+                     f"{report.dynamic_power_w * 1e3:.1f} mW", dyn])
+        rows.append([f"static power {tech.name}",
+                     f"{report.static_power_w * 1e6:.1f} uW", stat])
+        rows.append([f"area {tech.name}",
+                     f"{report.area_mm2:.3f} mm2", area])
+        rows.append([f"gate delay {tech.name}",
+                     f"{report.gate_delay_ps:.1f} ps", "one XNOR, "
+                     "off the critical path"])
+        summary[f"dyn_mw_{tech.name}"] = report.dynamic_power_w * 1e3
+    return ExperimentResult(
+        exp_id="sec6.3",
+        title="coder design overhead",
+        headers=["quantity", "measured", "paper"],
+        rows=rows,
+        paper_expectation="~134k XNORs; tens of mW dynamic, tens of uW "
+                          "static, ~0.2-0.3 mm2 — negligible vs the "
+                          "savings",
+        summary=summary,
+    )

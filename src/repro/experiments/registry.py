@@ -1,0 +1,74 @@
+"""Registry mapping experiment ids to their drivers.
+
+``run_experiment("fig18")`` reproduces one table/figure;
+``run_all()`` regenerates the paper's whole evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import ExperimentResult
+from .circuit_experiments import (discussion_6t_reliability,
+                                  discussion_edram, fig01_power_efficiency,
+                                  fig05_06_access_energy, leakage_asymmetry)
+from .energy_experiments import (fig16_17_component_energy,
+                                 fig18_19_chip_energy, fig20_dvfs,
+                                 fig21_schedulers, fig22_capacity,
+                                 fig23_6t_vs_8t, overhead_table)
+from .profiling_experiments import (fig08_narrow_value, fig09_bit_ratio,
+                                    fig11_lane_hamming, fig12_pivot_quality,
+                                    fig14_isa_bits, table2_masks)
+from .ablation_experiments import (ablation_bus_invert, ablation_isa_mask,
+                                   ablation_pivot_lane)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01_power_efficiency,
+    "fig05": lambda **kw: fig05_06_access_energy("28nm"),
+    "fig06": lambda **kw: fig05_06_access_energy("40nm"),
+    "sec3.1-leakage": lambda **kw: leakage_asymmetry(),
+    "fig08": fig08_narrow_value,
+    "fig09": fig09_bit_ratio,
+    "fig11": fig11_lane_hamming,
+    "fig12": fig12_pivot_quality,
+    "fig14": fig14_isa_bits,
+    "table2": table2_masks,
+    "fig16": lambda apps=None: fig16_17_component_energy("28nm", apps),
+    "fig17": lambda apps=None: fig16_17_component_energy("40nm", apps),
+    "fig18": lambda apps=None: fig18_19_chip_energy("28nm", apps),
+    "fig19": lambda apps=None: fig18_19_chip_energy("40nm", apps),
+    "fig20": fig20_dvfs,
+    "fig21": fig21_schedulers,
+    "fig22": fig22_capacity,
+    "fig23": fig23_6t_vs_8t,
+    "sec6.3": lambda **kw: overhead_table(),
+    "sec7.1": lambda **kw: discussion_6t_reliability(),
+    "sec7.2": lambda **kw: discussion_edram(),
+    "ablation-isa": ablation_isa_mask,
+    "ablation-pivot": ablation_pivot_lane,
+    "ablation-businvert": ablation_bus_invert,
+}
+
+
+def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig18"``)."""
+    try:
+        driver = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(**kwargs)
+
+
+def run_all(apps: Optional[list] = None) -> List[ExperimentResult]:
+    """Regenerate every table and figure, in paper order."""
+    results = []
+    for exp_id, driver in EXPERIMENTS.items():
+        try:
+            results.append(driver(apps=apps))
+        except TypeError:
+            results.append(driver())
+    return results

@@ -1,0 +1,15 @@
+"""The 58-application workload suite and the CUDA-like launch API."""
+
+from .api import (GPUApp, register, get_app, all_apps, apps_by_suite,
+                  APP_REGISTRY, SUITES)
+from .data import (smooth_f32, narrow_ints, sparse_f32, image_ints,
+                   csr_graph, prices_f32, coordinates_f32)
+from .helpers import addr_of, gid_addr, tree_reduce_shared, dot_product_step
+
+__all__ = [
+    "GPUApp", "register", "get_app", "all_apps", "apps_by_suite",
+    "APP_REGISTRY", "SUITES",
+    "smooth_f32", "narrow_ints", "sparse_f32", "image_ints", "csr_graph",
+    "prices_f32", "coordinates_f32",
+    "addr_of", "gid_addr", "tree_reduce_shared", "dot_product_step",
+]

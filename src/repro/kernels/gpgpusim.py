@@ -1,0 +1,158 @@
+"""GPGPU-Sim distribution applications.
+
+Five applications matching the paper's GPGPU-Sim set: LIB (libor
+Monte-Carlo paths, compute-bound), NQU (n-queens backtracking bit
+tricks, compute-bound), RAY (ray-sphere intersection), STO (storeGPU
+hashing, store-heavy) and LPS (3-D Laplace solver).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import register
+from .data import narrow_ints, smooth_f32
+from .helpers import addr_of, gid_addr
+from ..arch.engine import Launch
+
+_BLOCKS = 2
+_WARPS = 6
+
+
+@register("LIB", "gpgpusim", "libor: Monte-Carlo forward-rate paths")
+def build_libor(mem, rng):
+    n_paths = _BLOCKS * _WARPS * 32
+    n_steps = 10
+    Z = mem.alloc_array(
+        smooth_f32(n_paths, rng, base=0.0, step=0.05).view(np.uint32),
+        "normals")
+    Rates = mem.alloc_array(
+        smooth_f32(n_steps, rng, base=0.05, step=0.001).view(np.uint32),
+        "rates")
+    Payoff = mem.alloc(n_paths * 4, "payoff")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        z = w.ld_global(gid_addr(w, Z.base))
+        value = w.fconst(1.0)
+        for step in range(n_steps):
+            r = w.ld_const(w.const(Rates.base + step * 4))
+            drift = w.ffma(r, w.fconst(0.25), w.fconst(1.0))
+            shock = w.ffma(z, w.fconst(0.01), drift)
+            value = w.fmul(value, shock)
+            z = w.fmul(z, w.fconst(0.97))
+        strike = w.fconst(1.05)
+        gain = w.fsub(value, strike)
+        in_money = w.fsetp_gt(gain, w.fconst(0.0))
+        payoff = w.select(in_money, gain, w.fconst(0.0))
+        w.st_global(gid_addr(w, Payoff.base), payoff)
+
+    return [Launch("libor.paths", body, _BLOCKS, _WARPS)]
+
+
+@register("NQU", "gpgpusim", "n-queens: bitmask backtracking step")
+def build_nqueens(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    States = mem.alloc_array(narrow_ints(n, rng, hi=1 << 8,
+                                         signed_fraction=0.0), "states")
+    Count = mem.alloc(n * 4, "solutions")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        occupied = w.ld_global(gid_addr(w, States.base))
+        solutions = w.const(0)
+        board_mask = w.const(0xFF)
+        for _ in range(6):
+            free = w.iand(w.ixor(occupied, 0xFFFFFFFF), board_mask)
+            # Lowest free column: bit = free & -free.
+            neg = w.iadd(w.ixor(free, 0xFFFFFFFF), 1)
+            bit = w.iand(free, neg)
+            placed = w.setp_eq(w.iand(free, free), bit)  # one bit left?
+            solutions = w.select(placed, w.iadd(solutions, 1), solutions)
+            diag = w.ior(w.shl(bit, 1), w.shr(bit, 1))
+            occupied = w.ior(occupied, w.ior(bit, w.iand(diag, board_mask)))
+        w.st_global(gid_addr(w, Count.base), solutions)
+
+    return [Launch("nqueens", body, _BLOCKS, _WARPS)]
+
+
+@register("RAY", "gpgpusim", "ray tracing: sphere intersection tests")
+def build_raytracing(mem, rng):
+    n_rays = _BLOCKS * _WARPS * 32
+    n_spheres = 8
+    Dir = mem.alloc_array(
+        smooth_f32(n_rays, rng, base=0.7, step=0.002).view(np.uint32),
+        "ray_dir")
+    Sph = mem.alloc_array(
+        smooth_f32(n_spheres * 2, rng, base=5.0, step=0.5).view(np.uint32),
+        "spheres")
+    Hit = mem.alloc(n_rays * 4, "hit_t")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        # Ray directions are sampled from a texture-bound table.
+        d = w.ld_tex(gid_addr(w, Dir.base))
+        closest = w.fconst(1e30)
+        for s in range(n_spheres):
+            cx = w.ld_const(w.const(Sph.base + s * 8))
+            rad = w.ld_const(w.const(Sph.base + s * 8 + 4))
+            b = w.fmul(d, cx)
+            disc = w.fsub(w.fmul(b, b),
+                          w.fsub(w.fmul(cx, cx), w.fmul(rad, rad)))
+            hits = w.fsetp_gt(disc, w.fconst(0.0))
+            with w.diverge(hits):
+                t = w.fsub(b, w.fsqrt(disc))
+                nearer = w.fsetp_lt(t, closest)
+                picked = w.select(nearer, t, closest)
+            closest = w.select(hits, picked, closest)
+        w.st_global(gid_addr(w, Hit.base), closest)
+
+    return [Launch("ray.trace", body, _BLOCKS, _WARPS)]
+
+
+@register("STO", "gpgpusim", "storeGPU: block hashing, store-heavy")
+def build_storegpu(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    chunk = 4
+    Data = mem.alloc_array(narrow_ints(n * chunk, rng, hi=1 << 16,
+                                       signed_fraction=0.0), "data")
+    Hash = mem.alloc(n * chunk * 4, "hashes")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        base = w.imul(gid, chunk * 4)
+        state = w.const(0x01000193)
+        for i in range(chunk):
+            v = w.ld_global(w.iadd(base, Data.base + 4 * i))
+            state = w.ixor(state, v)
+            state = w.imul(state, 0x85EBCA6B)
+            state = w.ixor(state, w.shr(state, 13))
+            # storeGPU writes every intermediate digest out.
+            w.st_global(w.iadd(base, Hash.base + 4 * i), state)
+
+    return [Launch("sto.hash", body, _BLOCKS, _WARPS)]
+
+
+@register("LPS", "gpgpusim", "laplace3d: Jacobi relaxation sweep")
+def build_laplace3d(mem, rng):
+    nx, ny, nz = 32, 12, 8
+    Grid = mem.alloc_array(
+        smooth_f32(nx * ny * nz, rng, base=10.0, step=0.01).view(np.uint32),
+        "grid")
+    Out = mem.alloc(nx * ny * nz * 4, "out")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        x = w.iand(gid, nx - 1)
+        y = w.iadd(w.iand(w.shr(gid, 5), ny - 4 - 1), 1)
+        z = w.iadd(w.iand(w.shr(gid, 8), 3), 1)
+        off = w.imad(z, nx * ny * 4, w.imad(y, nx * 4, w.imul(x, 4)))
+        total = w.fconst(0.0)
+        for delta in (4, -4, nx * 4, -nx * 4, nx * ny * 4, -nx * ny * 4):
+            total = w.fadd(total,
+                           w.ld_global(w.iadd(off, Grid.base + delta)))
+        w.st_global(w.iadd(off, Out.base),
+                    w.fmul(total, w.fconst(1.0 / 6.0)))
+
+    return [Launch(f"lps.sweep{i}", body, _BLOCKS, _WARPS)
+            for i in range(2)]

@@ -1,0 +1,64 @@
+"""Shared address arithmetic and mini-patterns for kernel bodies.
+
+These helpers keep the 58 kernel bodies concise without hiding their
+structure: each returns registers through the normal warp API, so every
+use still emits real instructions into the trace.
+"""
+
+from __future__ import annotations
+
+from ..arch.warp import WarpCtx, Reg
+
+__all__ = ["addr_of", "gid_addr", "tree_reduce_shared", "dot_product_step"]
+
+
+def addr_of(w: WarpCtx, base: int, index, element_bytes: int = 4) -> Reg:
+    """Byte address of ``base[index]`` (index is a Reg or scalar)."""
+    scaled = w.imul(index, element_bytes)
+    return w.iadd(scaled, base)
+
+
+def gid_addr(w: WarpCtx, base: int, element_bytes: int = 4) -> Reg:
+    """Byte address of ``base[global_thread_idx]``."""
+    return addr_of(w, base, w.global_thread_idx(), element_bytes)
+
+
+def tree_reduce_shared(w: WarpCtx, value: Reg, out_base: int):
+    """Block-level tree reduction through shared memory.
+
+    A generator fragment: kernels ``yield from`` it. The warp's lane
+    values are staged in shared memory and pairwise-summed with a
+    barrier per halving step; lane 0 of warp 0 stores the block total.
+    """
+    tid = w.thread_idx()
+    offset = w.imul(tid, 4)
+    w.st_shared(offset, value)
+    yield w.barrier()
+    n = w.block_dim()
+    # Largest power of two strictly below n handles non-power-of-two
+    # blocks: the first step folds the tail [stride, n) onto the head.
+    stride = 2 ** ((n - 1).bit_length() - 1)
+    while stride >= 1:
+        low = w.setp_lt(tid, w.const(stride))
+        in_range = w.setp_lt(w.iadd(tid, stride), w.const(n))
+        with w.diverge(low & in_range):
+            mine = w.ld_shared(offset)
+            other_off = w.imul(w.iadd(tid, stride), 4)
+            other = w.ld_shared(other_off)
+            total = w.fadd(mine, other)
+            w.st_shared(offset, total)
+        yield w.barrier()
+        stride //= 2
+    is_first = w.setp_eq(tid, w.const(0))
+    with w.diverge(is_first):
+        total = w.ld_shared(w.const(0))
+        slot = w.iadd(w.imul(w.const(w.block_idx), 4), out_base)
+        w.st_global(slot, total)
+
+
+def dot_product_step(w: WarpCtx, a_base: int, b_base: int, index,
+                     acc: Reg) -> Reg:
+    """acc += a[index] * b[index] (one FFMA through two loads)."""
+    a = w.ld_global(addr_of(w, a_base, index))
+    b = w.ld_global(addr_of(w, b_base, index))
+    return w.ffma(a, b, acc)

@@ -1,0 +1,187 @@
+"""LonestarGPU applications: irregular, worklist-driven algorithms.
+
+Five applications matching the paper's Lonestar set: BFL (worklist BFS,
+distinct from Rodinia's frontier BFS), SSP (Bellman-Ford SSSP edge
+relaxation), MST (Boruvka lightest-edge selection), BH (Barnes-Hut
+style force approximation with a tree walk) and DMR (Delaunay mesh
+refinement quality test). Irregular control flow is the point: these
+exercise heavy branch divergence at warp edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import register
+from .data import coordinates_f32, csr_graph, narrow_ints
+from .helpers import addr_of, gid_addr
+from ..arch.engine import Launch
+
+_BLOCKS = 2
+_WARPS = 6
+
+
+@register("BFL", "lonestar", "worklist breadth-first search")
+def build_bfs_worklist(mem, rng):
+    n_nodes = 1024
+    offsets, cols = csr_graph(n_nodes, 3, rng)
+    Off = mem.alloc_array(offsets, "offsets")
+    Col = mem.alloc_array(cols, "cols")
+    dist = np.full(n_nodes, 0x3FFF, dtype=np.uint32)
+    dist[::97] = 0
+    Dist = mem.alloc_array(dist, "dist")
+    work = (np.arange(_BLOCKS * _WARPS * 32, dtype=np.uint32) * 3) % n_nodes
+    Work = mem.alloc_array(work.astype(np.uint32), "worklist")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        node = w.ld_global(gid_addr(w, Work.base))
+        d = w.ld_global(addr_of(w, Dist.base, node))
+        settled = w.setp_lt(d, w.const(0x3FFF))
+        with w.diverge(settled):
+            start = w.ld_global(addr_of(w, Off.base, node))
+            end = w.ld_global(addr_of(w, Off.base, w.iadd(node, 1)))
+            edge = w.mov(start)
+            for _ in range(3):
+                valid = w.setp_lt(edge, end)
+                with w.diverge(valid):
+                    nbr = w.ld_global(addr_of(w, Col.base, edge))
+                    nd_addr = addr_of(w, Dist.base, nbr)
+                    nd = w.ld_global(nd_addr)
+                    relax = w.setp_lt(w.iadd(d, 1), nd)
+                    with w.diverge(relax):
+                        w.st_global(nd_addr, w.iadd(d, 1))
+                edge = w.iadd(edge, 1)
+
+    return [Launch(f"bfl.round{i}", body, _BLOCKS, _WARPS)
+            for i in range(2)]
+
+
+@register("SSP", "lonestar", "sssp: Bellman-Ford edge relaxation")
+def build_sssp(mem, rng):
+    n_nodes = 768
+    offsets, cols = csr_graph(n_nodes, 3, rng)
+    n_edges = int(offsets[-1])
+    src = np.repeat(np.arange(n_nodes, dtype=np.uint32),
+                    np.diff(offsets).astype(np.int64))
+    Src = mem.alloc_array(src, "edge_src")
+    DstN = mem.alloc_array(cols, "edge_dst")
+    Wgt = mem.alloc_array(narrow_ints(n_edges, rng, hi=16,
+                                      signed_fraction=0.0), "edge_weight")
+    dist = np.full(n_nodes, 0x7FFF, dtype=np.uint32)
+    dist[0] = 0
+    Dist = mem.alloc_array(dist, "dist")
+    n_threads = _BLOCKS * _WARPS * 32
+
+    def body(w):
+        gid = w.global_thread_idx()
+        eid = w.iand(gid, min(n_edges, n_threads) - 1)
+        u = w.ld_global(addr_of(w, Src.base, eid))
+        v = w.ld_global(addr_of(w, DstN.base, eid))
+        wt = w.ld_global(addr_of(w, Wgt.base, eid))
+        du = w.ld_global(addr_of(w, Dist.base, u))
+        dv_addr = addr_of(w, Dist.base, v)
+        dv = w.ld_global(dv_addr)
+        cand = w.iadd(du, wt)
+        relax = w.setp_lt(cand, dv)
+        with w.diverge(relax):
+            w.st_global(dv_addr, cand)
+
+    return [Launch(f"sssp.round{i}", body, _BLOCKS, _WARPS)
+            for i in range(3)]
+
+
+@register("MST", "lonestar", "mst: Boruvka lightest-edge selection")
+def build_mst(mem, rng):
+    n_nodes = _BLOCKS * _WARPS * 32
+    offsets, cols = csr_graph(n_nodes, 4, rng)
+    n_edges = int(offsets[-1])
+    Off = mem.alloc_array(offsets, "offsets")
+    Col = mem.alloc_array(cols, "cols")
+    Wgt = mem.alloc_array(narrow_ints(n_edges, rng, hi=64,
+                                      signed_fraction=0.0), "weights")
+    Best = mem.alloc(n_nodes * 4, "lightest")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        start = w.ld_global(gid_addr(w, Off.base))
+        end = w.ld_global(addr_of(w, Off.base, w.iadd(gid, 1)))
+        best = w.const(0xFFFF)
+        edge = w.mov(start)
+        for _ in range(4):
+            valid = w.setp_lt(edge, end)
+            with w.diverge(valid):
+                wt = w.ld_global(addr_of(w, Wgt.base, edge))
+                lighter = w.setp_lt(wt, best)
+                picked = w.select(lighter, wt, best)
+            best = w.select(valid, picked, best)
+            edge = w.iadd(edge, 1)
+        w.st_global(gid_addr(w, Best.base), best)
+
+    return [Launch("mst.lightest", body, _BLOCKS, _WARPS)]
+
+
+@register("BH", "lonestar", "barnes-hut: tree-walk force approximation")
+def build_barneshut(mem, rng):
+    n_bodies = _BLOCKS * _WARPS * 32
+    n_cells = 64
+    Pos = mem.alloc_array(coordinates_f32(n_bodies, rng).view(np.uint32),
+                          "pos")
+    CellPos = mem.alloc_array(coordinates_f32(n_cells, rng).view(np.uint32),
+                              "cell_pos")
+    CellMass = mem.alloc_array(
+        narrow_ints(n_cells, rng, hi=128, signed_fraction=0.0), "cell_mass")
+    Acc = mem.alloc(n_bodies * 4, "acc")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        my_pos = w.ld_global(gid_addr(w, Pos.base))
+        acc = w.fconst(0.0)
+        cell = w.iand(gid, 7)
+        for level in range(5):
+            cp = w.ld_global(addr_of(w, CellPos.base, cell))
+            cm = w.i2f(w.ld_global(addr_of(w, CellMass.base, cell)))
+            dr = w.fsub(cp, my_pos)
+            r2 = w.ffma(dr, dr, w.fconst(0.1))
+            far = w.fsetp_gt(r2, w.fconst(0.5))
+            contrib = w.fmul(cm, w.fmul(dr, w.frcp(r2)))
+            acc = w.select(far, w.fadd(acc, contrib), acc)
+            # Descend: children of near cells, next sibling otherwise.
+            child = w.iand(w.imad(cell, 2, w.const(1)), n_cells - 1)
+            sibling = w.iand(w.iadd(cell, 1), n_cells - 1)
+            cell = w.select(far, sibling, child)
+        w.st_global(gid_addr(w, Acc.base), acc)
+
+    return [Launch("bh.force", body, _BLOCKS, _WARPS)]
+
+
+@register("DMR", "lonestar", "delaunay refinement: triangle quality test")
+def build_dmr(mem, rng):
+    n_tris = _BLOCKS * _WARPS * 32
+    Ax = mem.alloc_array(coordinates_f32(n_tris, rng).view(np.uint32), "ax")
+    Bx = mem.alloc_array(coordinates_f32(n_tris, rng, box=17.0).view(np.uint32),
+                         "bx")
+    Cx = mem.alloc_array(coordinates_f32(n_tris, rng, box=15.0).view(np.uint32),
+                         "cx")
+    Bad = mem.alloc_array(np.zeros(n_tris, dtype=np.uint32), "bad")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        a = w.ld_global(gid_addr(w, Ax.base))
+        b = w.ld_global(gid_addr(w, Bx.base))
+        c = w.ld_global(gid_addr(w, Cx.base))
+        ab = w.fsub(b, a)
+        bc = w.fsub(c, b)
+        ca = w.fsub(a, c)
+        longest = w.fmax(w.fmul(ab, ab),
+                         w.fmax(w.fmul(bc, bc), w.fmul(ca, ca)))
+        area = w.fadd(w.fmul(ab, bc), w.fconst(0.05))
+        quality = w.fmul(longest, w.frcp(w.fmax(area, w.fconst(0.01))))
+        is_bad = w.fsetp_gt(quality, w.fconst(8.0))
+        with w.diverge(is_bad):
+            w.st_global(gid_addr(w, Bad.base), w.const(1))
+            # Refinement: split the longest edge (midpoint write-back).
+            mid = w.fmul(w.fadd(a, b), w.fconst(0.5))
+            w.st_global(gid_addr(w, Ax.base), mid)
+
+    return [Launch("dmr.refine", body, _BLOCKS, _WARPS)]

@@ -1,0 +1,234 @@
+"""Parboil applications: throughput-computing kernels.
+
+Eight applications matching the paper's Parboil set: SGE (sgemm), SPM
+(spmv), STN (stencil), MRQ (mri-q), CP (cutcp, the coulombic-potential
+compute-bound case), LBM, HIS (histo) and TPA (tpacf).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import register
+from .data import coordinates_f32, csr_graph, narrow_ints, smooth_f32
+from .helpers import addr_of, gid_addr
+from ..arch.engine import Launch
+
+_BLOCKS = 2
+_WARPS = 6
+
+
+@register("SGE", "parboil", "sgemm: register-tiled matrix multiply")
+def build_sgemm(mem, rng):
+    k_depth = 32
+    cols = 32
+    rows = _BLOCKS * _WARPS
+    A = mem.alloc_array(
+        smooth_f32(rows * k_depth, rng, base=1.0).view(np.uint32), "A")
+    B = mem.alloc_array(
+        smooth_f32(k_depth * cols, rng, base=0.8).view(np.uint32), "B")
+    C = mem.alloc(rows * cols * 4, "C")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        col = w.iand(gid, cols - 1)
+        row = w.shr(gid, 5)
+        a_row = w.imul(row, k_depth * 4)
+        # Two-way register tiling: accumulate even/odd k separately.
+        acc0 = w.fconst(0.0)
+        acc1 = w.fconst(0.0)
+        for k in range(0, k_depth, 2):
+            a0 = w.ld_global(w.iadd(a_row, A.base + 4 * k))
+            b0 = w.ld_global(addr_of(w, B.base + k * cols * 4, col))
+            acc0 = w.ffma(a0, b0, acc0)
+            a1 = w.ld_global(w.iadd(a_row, A.base + 4 * (k + 1)))
+            b1 = w.ld_global(addr_of(w, B.base + (k + 1) * cols * 4, col))
+            acc1 = w.ffma(a1, b1, acc1)
+        w.st_global(gid_addr(w, C.base), w.fadd(acc0, acc1))
+
+    return [Launch("sgemm", body, _BLOCKS, _WARPS)]
+
+
+@register("SPM", "parboil", "spmv: CSR sparse matrix-vector product")
+def build_spmv(mem, rng):
+    n_rows = _BLOCKS * _WARPS * 32
+    offsets, cols = csr_graph(n_rows, 3, rng)
+    Off = mem.alloc_array(offsets, "offsets")
+    Col = mem.alloc_array(cols % np.uint32(n_rows), "cols")
+    Val = mem.alloc_array(
+        smooth_f32(int(offsets[-1]), rng, base=0.5).view(np.uint32), "vals")
+    X = mem.alloc_array(smooth_f32(n_rows, rng).view(np.uint32), "x")
+    Y = mem.alloc(n_rows * 4, "y")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        start = w.ld_global(gid_addr(w, Off.base))
+        end = w.ld_global(addr_of(w, Off.base, w.iadd(gid, 1)))
+        acc = w.fconst(0.0)
+        ptr = w.mov(start)
+        for _ in range(4):           # degree-bounded; tail lanes diverge
+            valid = w.setp_lt(ptr, end)
+            with w.diverge(valid):
+                col = w.ld_global(addr_of(w, Col.base, ptr))
+                v = w.ld_global(addr_of(w, Val.base, ptr))
+                xv = w.ld_global(addr_of(w, X.base, col))
+                contrib = w.fmul(v, xv)
+            acc = w.select(valid, w.fadd(acc, contrib), acc)
+            ptr = w.iadd(ptr, 1)
+        w.st_global(gid_addr(w, Y.base), acc)
+
+    return [Launch("spmv", body, _BLOCKS, _WARPS)]
+
+
+@register("STN", "parboil", "stencil: 7-point 3-D Jacobi sweep")
+def build_stencil(mem, rng):
+    nx, ny, nz = 32, 12, 8
+    Grid = mem.alloc_array(
+        smooth_f32(nx * ny * nz, rng, base=1.5, step=0.005).view(np.uint32),
+        "grid")
+    Out = mem.alloc(nx * ny * nz * 4, "out")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        x = w.iand(gid, nx - 1)
+        y = w.iadd(w.iand(w.shr(gid, 5), ny - 4 - 1), 1)
+        z = w.iadd(w.iand(w.shr(gid, 8), 3), 1)
+        off = w.imad(z, nx * ny * 4, w.imad(y, nx * 4, w.imul(x, 4)))
+        c = w.ld_global(w.iadd(off, Grid.base))
+        total = w.fmul(c, w.fconst(-6.0))
+        for delta in (4, -4, nx * 4, -nx * 4, nx * ny * 4, -nx * ny * 4):
+            nb = w.ld_global(w.iadd(off, Grid.base + delta))
+            total = w.fadd(total, nb)
+        out = w.ffma(w.fconst(0.1), total, c)
+        w.st_global(w.iadd(off, Out.base), out)
+
+    return [Launch("stencil3d", body, _BLOCKS, _WARPS)]
+
+
+@register("MRQ", "parboil", "mri-q: k-space trigonometric accumulation")
+def build_mriq(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    n_k = 12
+    X = mem.alloc_array(coordinates_f32(n, rng).view(np.uint32), "x")
+    KS = mem.alloc_array(
+        smooth_f32(n_k * 2, rng, base=0.3, step=0.05).view(np.uint32),
+        "kspace")
+    QR = mem.alloc(n * 4, "q_real")
+    QI = mem.alloc(n * 4, "q_imag")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        x = w.ld_global(gid_addr(w, X.base))
+        re = w.fconst(0.0)
+        im = w.fconst(0.0)
+        for k in range(n_k):
+            kx = w.ld_const(w.const(KS.base + k * 8))
+            mag = w.ld_const(w.const(KS.base + k * 8 + 4))
+            phase = w.fmul(kx, x)
+            c = w.fsin(w.fadd(phase, w.fconst(1.5707964)))
+            s = w.fsin(phase)
+            re = w.ffma(mag, c, re)
+            im = w.ffma(mag, s, im)
+        w.st_global(gid_addr(w, QR.base), re)
+        w.st_global(gid_addr(w, QI.base), im)
+
+    return [Launch("mriq", body, _BLOCKS, _WARPS)]
+
+
+@register("CP", "parboil", "cutcp: coulombic potential (compute-bound)")
+def build_cutcp(mem, rng):
+    n_atoms = 24
+    grid_pts = _BLOCKS * _WARPS * 32
+    Atoms = mem.alloc_array(
+        np.stack([coordinates_f32(n_atoms, rng),
+                  smooth_f32(n_atoms, rng, base=1.0, step=0.1)],
+                 axis=1).astype(np.float32).view(np.uint32).ravel(), "atoms")
+    Pot = mem.alloc(grid_pts * 4, "potential")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        gx = w.fmul(w.i2f(gid), w.fconst(0.05))
+        pot = w.fconst(0.0)
+        for a in range(n_atoms):
+            ax = w.ld_const(w.const(Atoms.base + a * 8))
+            q = w.ld_const(w.const(Atoms.base + a * 8 + 4))
+            dx = w.fsub(gx, ax)
+            r2 = w.ffma(dx, dx, w.fconst(0.01))
+            pot = w.ffma(q, w.frsq(r2), pot)
+        w.st_global(gid_addr(w, Pot.base), pot)
+
+    return [Launch("cutcp", body, _BLOCKS, _WARPS)]
+
+
+@register("LBM", "parboil", "lbm: lattice-Boltzmann collide-stream")
+def build_lbm(mem, rng):
+    cells = _BLOCKS * _WARPS * 32
+    n_dirs = 5
+    F = mem.alloc_array(
+        smooth_f32(cells * n_dirs, rng, base=0.11, step=0.001).view(np.uint32),
+        "distributions")
+    Out = mem.alloc(cells * n_dirs * 4, "out")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        base = w.imul(gid, n_dirs * 4)
+        dens = w.fconst(0.0)
+        fs = []
+        for d in range(n_dirs):
+            f = w.ld_global(w.iadd(base, F.base + 4 * d))
+            fs.append(f)
+            dens = w.fadd(dens, f)
+        inv = w.frcp(dens)
+        for d, f in enumerate(fs):
+            eq = w.fmul(dens, w.fconst(0.2))
+            relaxed = w.ffma(w.fconst(0.6), w.fsub(eq, f), f)
+            relaxed = w.fmul(relaxed, w.fmul(dens, inv))
+            w.st_global(w.iadd(base, Out.base + 4 * d), relaxed)
+
+    return [Launch("lbm.step", body, _BLOCKS, _WARPS)]
+
+
+@register("HIS", "parboil", "histo: image histogram with divergence")
+def build_histo(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    n_bins = 64
+    Img = mem.alloc_array(narrow_ints(n, rng, hi=n_bins,
+                                      signed_fraction=0.0), "samples")
+    Hist = mem.alloc_array(np.zeros(n_bins * _BLOCKS, dtype=np.uint32),
+                           "hist")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        sample = w.ld_global(gid_addr(w, Img.base))
+        bin_addr = addr_of(w, Hist.base + w.block_idx * n_bins * 4, sample)
+        # Saturating non-atomic update (the paper's traces don't model
+        # atomics either); low bins are hot -> divergence on the test.
+        count = w.ld_global(bin_addr)
+        hot = w.setp_lt(sample, w.const(n_bins // 2))
+        with w.diverge(hot):
+            w.st_global(bin_addr, w.iadd(count, 1))
+
+    return [Launch("histo", body, _BLOCKS, _WARPS)]
+
+
+@register("TPA", "parboil", "tpacf: angular correlation binning")
+def build_tpacf(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    Ang = mem.alloc_array(
+        smooth_f32(n, rng, base=0.5, step=0.002).view(np.uint32), "angles")
+    Ref = mem.alloc_array(
+        smooth_f32(16, rng, base=0.5, step=0.05).view(np.uint32), "ref")
+    Bins = mem.alloc(n * 4, "bins")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        a = w.ld_global(gid_addr(w, Ang.base))
+        best_bin = w.const(0)
+        for r in range(16):
+            b = w.ld_const(w.const(Ref.base + 4 * r))
+            dot = w.fmul(a, b)
+            above = w.fsetp_gt(dot, w.fconst(0.25))
+            best_bin = w.select(above, w.iadd(best_bin, 1), best_bin)
+        w.st_global(gid_addr(w, Bins.base), best_bin)
+
+    return [Launch("tpacf", body, _BLOCKS, _WARPS)]

@@ -1,0 +1,376 @@
+"""Rodinia applications: heterogeneous-computing kernels.
+
+Twelve applications matching the paper's Rodinia set: BFS, BKP
+(backprop), BTR (b+tree), GAU (gaussian), HOT (hotspot), KMN (kmeans),
+LUD, NW (needleman-wunsch), PAR (particlefilter), PAT (pathfinder),
+SRA (srad) and STC (streamcluster). BFS and the stencil/DP codes are
+memory-intensive and irregular; PAR and PAT are the paper's examples of
+compute-bound apps with modest BVF gains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import register
+from .data import csr_graph, image_ints, narrow_ints, smooth_f32, sparse_f32
+from .helpers import addr_of, gid_addr
+from ..arch.engine import Launch
+
+_BLOCKS = 2
+_WARPS = 6
+
+
+@register("BFS", "rodinia", "frontier-expansion breadth-first search")
+def build_bfs(mem, rng):
+    n_nodes = 1024
+    offsets, cols = csr_graph(n_nodes, 4, rng)
+    Off = mem.alloc_array(offsets, "offsets")
+    Col = mem.alloc_array(cols, "cols")
+    cost = np.full(n_nodes, 0xFFFF, dtype=np.uint32)
+    cost[:64] = 0
+    Cost = mem.alloc_array(cost, "cost")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        my_cost = w.ld_global(gid_addr(w, Cost.base))
+        on_frontier = w.setp_lt(my_cost, w.const(0xFFFF))
+        with w.diverge(on_frontier):
+            start = w.ld_global(gid_addr(w, Off.base))
+            end = w.ld_global(addr_of(w, Off.base, w.iadd(gid, 1)))
+            next_cost = w.iadd(my_cost, 1)
+            # Visit up to 4 neighbours; degree divergence is the point.
+            edge = w.mov(start)
+            for _ in range(4):
+                has_edge = w.setp_lt(edge, end)
+                with w.diverge(has_edge):
+                    nbr = w.ld_global(addr_of(w, Col.base, edge))
+                    nbr_cost_addr = addr_of(w, Cost.base, nbr)
+                    nbr_cost = w.ld_global(nbr_cost_addr)
+                    worse = w.setp_lt(next_cost, nbr_cost)
+                    with w.diverge(worse):
+                        w.st_global(nbr_cost_addr, next_cost)
+                edge = w.iadd(edge, 1)
+
+    return [Launch(f"bfs.iter{i}", body, _BLOCKS, _WARPS) for i in range(2)]
+
+
+@register("BKP", "rodinia", "backprop: forward layer + sigmoid")
+def build_backprop(mem, rng):
+    n_in = 16
+    n_out = 384
+    W = mem.alloc_array(
+        smooth_f32(n_in * n_out, rng, base=0.0, step=0.02).view(np.uint32),
+        "weights")
+    X = mem.alloc_array(smooth_f32(n_in, rng).view(np.uint32), "inputs")
+    Y = mem.alloc(n_out * 4, "activations")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        row = w.imul(gid, n_in * 4)
+        acc = w.fconst(0.0)
+        for k in range(n_in):
+            wt = w.ld_global(w.iadd(row, W.base + 4 * k))
+            xv = w.ld_global(w.const(X.base + 4 * k))
+            acc = w.ffma(wt, xv, acc)
+        # sigmoid(acc) = 1 / (1 + exp(-acc))
+        e = w.fexp(w.fsub(w.fconst(0.0), acc))
+        act = w.frcp(w.fadd(w.fconst(1.0), e))
+        w.st_global(gid_addr(w, Y.base), act)
+
+    return [Launch("backprop.fwd", body, _BLOCKS, _WARPS)]
+
+
+@register("BTR", "rodinia", "b+tree: multi-level index search")
+def build_btree(mem, rng):
+    fanout = 16
+    n_keys = fanout ** 3
+    keys = np.sort(narrow_ints(n_keys, rng, hi=1 << 14,
+                               signed_fraction=0.0).view(np.int32)).view(np.uint32)
+    Keys = mem.alloc_array(keys, "keys")
+    inner = keys[::fanout].copy()
+    Inner = mem.alloc_array(inner, "inner")
+    root = inner[::fanout].copy()
+    Root = mem.alloc_array(root, "root")
+    queries = narrow_ints(_BLOCKS * _WARPS * 32, rng, hi=1 << 14,
+                          signed_fraction=0.0)
+    Q = mem.alloc_array(queries, "queries")
+    Out = mem.alloc(queries.size * 4, "results")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        target = w.ld_global(gid_addr(w, Q.base))
+        # Walk root -> inner -> leaves, linear probe per level.
+        slot = w.const(0)
+        for i in range(fanout):
+            k = w.ld_global(w.const(Root.base + 4 * i))
+            below = w.setp_ge(target, k)
+            slot = w.select(below, w.const(i), slot)
+        slot = w.imul(slot, fanout)
+        leaf_base = w.mov(slot)
+        for i in range(fanout):
+            k = w.ld_global(addr_of(w, Inner.base, w.iadd(slot, i)))
+            below = w.setp_ge(target, k)
+            leaf_base = w.select(below, w.iadd(slot, i), leaf_base)
+        found = w.ld_global(addr_of(w, Keys.base, w.imul(leaf_base, fanout)))
+        w.st_global(gid_addr(w, Out.base), found)
+
+    return [Launch("btree.search", body, _BLOCKS, _WARPS)]
+
+
+@register("GAU", "rodinia", "gaussian elimination: one pivot sweep")
+def build_gaussian(mem, rng):
+    n = 64
+    A = mem.alloc_array(smooth_f32(n * n, rng, base=4.0).view(np.uint32), "A")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        col = w.iand(gid, n - 1)
+        row = w.iadd(w.shr(gid, 6), 1)
+        pivot = w.ld_global(addr_of(w, A.base, col))
+        lead_addr = w.imad(row, n * 4, A.base)
+        lead = w.ld_global(lead_addr)
+        diag = w.ld_global(w.const(A.base))
+        factor = w.fmul(lead, w.frcp(diag))
+        target = w.imad(row, n * 4, w.imul(col, 4))
+        target = w.iadd(target, A.base)
+        v = w.ld_global(target)
+        w.st_global(target, w.fsub(v, w.fmul(factor, pivot)))
+
+    return [Launch("gaussian.sweep", body, _BLOCKS, _WARPS)]
+
+
+@register("HOT", "rodinia", "hotspot: thermal 5-point stencil")
+def build_hotspot(mem, rng):
+    width = 64
+    height = 40
+    T = mem.alloc_array(
+        smooth_f32(width * height, rng, base=330.0, step=0.2).view(np.uint32),
+        "temp")
+    P = mem.alloc_array(
+        sparse_f32(width * height, rng, density=0.2, base=0.5).view(np.uint32),
+        "power")
+    Out = mem.alloc(width * height * 4, "out")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        x = w.iand(gid, width - 1)
+        y = w.iadd(w.shr(gid, 6), 1)
+        centre_off = w.imad(y, width * 4, w.imul(x, 4))
+        c = w.ld_global(w.iadd(centre_off, T.base))
+        n = w.ld_global(w.iadd(centre_off, T.base - width * 4))
+        s = w.ld_global(w.iadd(centre_off, T.base + width * 4))
+        e = w.ld_global(w.iadd(centre_off, T.base + 4))
+        ww = w.ld_global(w.iadd(centre_off, T.base - 4))
+        p = w.ld_global(w.iadd(centre_off, P.base))
+        lap = w.fsub(w.fadd(w.fadd(n, s), w.fadd(e, ww)),
+                     w.fmul(w.fconst(4.0), c))
+        out = w.ffma(w.fconst(0.05), lap, w.ffma(w.fconst(0.8), p, c))
+        w.st_global(w.iadd(centre_off, Out.base), out)
+
+    return [Launch(f"hotspot.step{i}", body, _BLOCKS, _WARPS)
+            for i in range(2)]
+
+
+@register("KMN", "rodinia", "kmeans: nearest-centroid assignment")
+def build_kmeans(mem, rng):
+    n_points = _BLOCKS * _WARPS * 32
+    dims = 4
+    k = 8
+    Pts = mem.alloc_array(
+        smooth_f32(n_points * dims, rng, base=2.0, step=0.05).view(np.uint32),
+        "points")
+    Cent = mem.alloc_array(
+        smooth_f32(k * dims, rng, base=2.0, step=0.3).view(np.uint32),
+        "centroids")
+    Assign = mem.alloc(n_points * 4, "assign")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        pt = w.imul(gid, dims * 4)
+        best = w.fconst(1e30)
+        best_idx = w.const(0)
+        for c in range(k):
+            dist = w.fconst(0.0)
+            for d in range(dims):
+                pv = w.ld_global(w.iadd(pt, Pts.base + 4 * d))
+                cv = w.ld_const(w.const(Cent.base + (c * dims + d) * 4))
+                diff = w.fsub(pv, cv)
+                dist = w.ffma(diff, diff, dist)
+            closer = w.fsetp_lt(dist, best)
+            best = w.select(closer, dist, best)
+            best_idx = w.select(closer, w.const(c), best_idx)
+        w.st_global(gid_addr(w, Assign.base), best_idx)
+
+    return [Launch("kmeans.assign", body, _BLOCKS, _WARPS)]
+
+
+@register("LUD", "rodinia", "LU decomposition: shared-memory block step")
+def build_lud(mem, rng):
+    n = 32
+    A = mem.alloc_array(smooth_f32(n * n, rng, base=6.0).view(np.uint32), "A")
+
+    def body(w):
+        tid = w.thread_idx()
+        col = w.iand(tid, n - 1)
+        row = w.shr(tid, 5)
+        src = w.imad(row, n * 4, w.imul(col, 4))
+        v = w.ld_global(w.iadd(src, A.base + w.block_idx * 0))
+        w.st_shared(w.imul(tid, 4), v)
+        yield w.barrier()
+        # Eliminate below the first two pivots within the tile.
+        for piv in range(2):
+            pivot = w.ld_shared(w.const((piv * n + piv) * 4))
+            below = w.setp_ge(row, w.const(piv + 1))
+            with w.diverge(below):
+                lead = w.ld_shared(w.imad(row, n * 4, w.const(piv * 4)))
+                factor = w.fmul(lead, w.frcp(pivot))
+                upper = w.ld_shared(w.imad(w.const(piv), n * 4,
+                                           w.imul(col, 4)))
+                mine = w.ld_shared(w.imul(tid, 4))
+                w.st_shared(w.imul(tid, 4),
+                            w.fsub(mine, w.fmul(factor, upper)))
+            yield w.barrier()
+        out = w.ld_shared(w.imul(tid, 4))
+        w.st_global(w.iadd(src, A.base), out)
+
+    return [Launch("lud.block", body, _BLOCKS, _WARPS,
+                   shared_bytes=_WARPS * 32 * 4)]
+
+
+@register("NW", "rodinia", "needleman-wunsch: integer DP anti-diagonal")
+def build_nw(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    Ref = mem.alloc_array(narrow_ints(n, rng, hi=24, signed_fraction=0.0),
+                          "ref")
+    Qry = mem.alloc_array(narrow_ints(n, rng, hi=24, signed_fraction=0.0),
+                          "query")
+    Score = mem.alloc_array(narrow_ints(n, rng, hi=8, signed_fraction=0.3),
+                            "score")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        r = w.ld_global(gid_addr(w, Ref.base))
+        q = w.ld_global(gid_addr(w, Qry.base))
+        prev = w.ld_global(gid_addr(w, Score.base))
+        match = w.setp_eq(r, q)
+        bonus = w.select(match, w.const(3), w.const(0xFFFFFFFE))  # -2
+        diag = w.iadd(prev, bonus)
+        up = w.isub(prev, 1)
+        best = w.imax(diag, up)
+        left = w.isub(best, 1)
+        best = w.imax(best, left)
+        w.st_global(gid_addr(w, Score.base), best)
+
+    return [Launch(f"nw.diag{i}", body, _BLOCKS, _WARPS) for i in range(2)]
+
+
+@register("PAR", "rodinia", "particlefilter: weight update (compute-bound)")
+def build_particlefilter(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    X = mem.alloc_array(smooth_f32(n, rng, base=10.0).view(np.uint32), "xs")
+    Wt = mem.alloc(n * 4, "weights")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        x = w.ld_global(gid_addr(w, X.base))
+        obs = w.fconst(10.2)
+        # Long arithmetic chain: likelihood of a gaussian observation.
+        acc = w.fsub(x, obs)
+        acc = w.fmul(acc, acc)
+        for _ in range(6):
+            acc = w.fmul(acc, w.fconst(0.5))
+            acc = w.fadd(acc, w.fmul(x, w.fconst(0.001)))
+        lik = w.fexp(w.fsub(w.fconst(0.0), acc))
+        lik = w.fmul(lik, w.frsq(w.fconst(6.2831853)))
+        lg = w.flog(w.fadd(lik, w.fconst(1e-6)))
+        w.st_global(gid_addr(w, Wt.base), w.fexp(lg))
+
+    return [Launch("particle.weights", body, _BLOCKS, _WARPS)]
+
+
+@register("PAT", "rodinia", "pathfinder: min-DP row walk in shared memory")
+def build_pathfinder(mem, rng):
+    cols = _WARPS * 32
+    rows = 4
+    Grid = mem.alloc_array(
+        narrow_ints(cols * rows, rng, hi=10, signed_fraction=0.0), "grid")
+    Out = mem.alloc(cols * _BLOCKS * 4, "out")
+
+    def body(w):
+        tid = w.thread_idx()
+        cost = w.ld_global(addr_of(w, Grid.base, tid))
+        w.st_shared(w.imul(tid, 4), cost)
+        yield w.barrier()
+        for r in range(1, rows):
+            mine = w.ld_shared(w.imul(tid, 4))
+            left = w.ld_shared(w.imul(w.imax(w.isub(tid, 1), w.const(0)), 4))
+            right = w.ld_shared(
+                w.imul(w.imin(w.iadd(tid, 1), w.const(cols - 1)), 4))
+            best = w.imin(mine, w.imin(left, right))
+            step = w.ld_global(addr_of(w, Grid.base + r * cols * 4, tid))
+            yield w.barrier()
+            w.st_shared(w.imul(tid, 4), w.iadd(best, step))
+            yield w.barrier()
+        total = w.ld_shared(w.imul(tid, 4))
+        w.st_global(gid_addr(w, Out.base), total)
+
+    return [Launch("pathfinder", body, _BLOCKS, _WARPS,
+                   shared_bytes=cols * 4)]
+
+
+@register("SRA", "rodinia", "srad: anisotropic diffusion on an image")
+def build_srad(mem, rng):
+    width = 64
+    height = 40
+    Img = mem.alloc_array(image_ints(width * height, rng), "img")
+    Out = mem.alloc(width * height * 4, "out")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        x = w.iand(gid, width - 1)
+        y = w.iadd(w.shr(gid, 6), 1)
+        off = w.imad(y, width * 4, w.imul(x, 4))
+        # srad samples its image through the texture cache.
+        c = w.i2f(w.ld_tex(w.iadd(off, Img.base)))
+        n = w.i2f(w.ld_tex(w.iadd(off, Img.base - width * 4)))
+        s = w.i2f(w.ld_tex(w.iadd(off, Img.base + width * 4)))
+        dn = w.fsub(n, c)
+        ds = w.fsub(s, c)
+        g2 = w.ffma(dn, dn, w.fmul(ds, ds))
+        denom = w.fadd(w.fmul(c, c), w.fconst(1.0))
+        q = w.fmul(g2, w.frcp(denom))
+        coef = w.frcp(w.fadd(w.fconst(1.0), q))
+        out = w.ffma(coef, w.fadd(dn, ds), c)
+        w.st_global(w.iadd(off, Out.base), out)
+
+    return [Launch("srad.diffuse", body, _BLOCKS, _WARPS)]
+
+
+@register("STC", "rodinia", "streamcluster: distance-to-medoid scoring")
+def build_streamcluster(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    dims = 8
+    Pts = mem.alloc_array(
+        smooth_f32(n * dims, rng, base=1.0, step=0.02).view(np.uint32),
+        "points")
+    Med = mem.alloc_array(
+        smooth_f32(dims, rng, base=1.0, step=0.2).view(np.uint32), "medoid")
+    Cost = mem.alloc(n * 4, "cost")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        base = w.imul(gid, dims * 4)
+        dist = w.fconst(0.0)
+        for d in range(dims):
+            p = w.ld_global(w.iadd(base, Pts.base + 4 * d))
+            m = w.ld_const(w.const(Med.base + 4 * d))
+            diff = w.fsub(p, m)
+            dist = w.ffma(diff, diff, dist)
+        weight = w.fconst(1.0)
+        gain = w.fsub(w.fmul(dist, weight), w.fconst(0.25))
+        opens = w.fsetp_gt(gain, w.fconst(0.0))
+        out = w.select(opens, gain, w.fconst(0.0))
+        w.st_global(gid_addr(w, Cost.base), out)
+
+    return [Launch("streamcluster.gain", body, _BLOCKS, _WARPS)]

@@ -1,0 +1,274 @@
+"""CUDA SDK sample applications.
+
+Ten applications matching the paper's SDK set: BLA (BlackScholes), DXT
+(dxtc compression, compute-bound), CSP (convolutionSeparable), MM
+(matrixMul with shared-memory tiles), RED (reduction), SCN (scan), TRA
+(transpose), VEC (vectorAdd), OCE (oceanFFT — the paper's example of
+int-to-float conversion for performance) and IMD (imageDenoising).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import register
+from .data import image_ints, narrow_ints, prices_f32, smooth_f32
+from .helpers import addr_of, gid_addr, tree_reduce_shared
+from ..arch.engine import Launch
+
+_BLOCKS = 2
+_WARPS = 6
+
+
+@register("BLA", "sdk", "BlackScholes option pricing (compute-bound)")
+def build_blackscholes(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    S = mem.alloc_array(prices_f32(n, rng, 30.0).view(np.uint32), "spot")
+    X = mem.alloc_array(prices_f32(n, rng, 32.0).view(np.uint32), "strike")
+    T = mem.alloc_array(
+        smooth_f32(n, rng, base=1.0, step=0.002).view(np.uint32), "expiry")
+    Call = mem.alloc(n * 4, "call")
+    Put = mem.alloc(n * 4, "put")
+
+    def cnd(w, d):
+        # Polynomial approximation of the cumulative normal, as in the SDK.
+        k = w.frcp(w.ffma(w.fconst(0.2316419), d, w.fconst(1.0)))
+        poly = w.fconst(0.0)
+        for coef in (1.330274, -1.821256, 1.781478, -0.3565638, 0.3193815):
+            poly = w.ffma(poly, k, w.fconst(coef))
+        poly = w.fmul(poly, k)
+        pdf = w.fexp(w.fmul(w.fconst(-0.5), w.fmul(d, d)))
+        pdf = w.fmul(pdf, w.fconst(0.39894228))
+        return w.fsub(w.fconst(1.0), w.fmul(pdf, poly))
+
+    def body(w):
+        gid = w.global_thread_idx()
+        s = w.ld_global(gid_addr(w, S.base))
+        x = w.ld_global(gid_addr(w, X.base))
+        t = w.ld_global(gid_addr(w, T.base))
+        sqrt_t = w.fsqrt(t)
+        d1 = w.fmul(w.flog(w.fmul(s, w.frcp(x))), w.frcp(sqrt_t))
+        d1 = w.ffma(w.fconst(0.06), sqrt_t, d1)
+        d2 = w.fsub(d1, w.fmul(w.fconst(0.30), sqrt_t))
+        call = w.fsub(w.fmul(s, cnd(w, d1)), w.fmul(x, cnd(w, d2)))
+        w.st_global(gid_addr(w, Call.base), call)
+        w.st_global(gid_addr(w, Put.base), w.fsub(w.fadd(call, x), s))
+
+    return [Launch("blackscholes", body, _BLOCKS, _WARPS)]
+
+
+@register("DXT", "sdk", "dxtc: block texture compression (compute-bound)")
+def build_dxtc(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    Img = mem.alloc_array(image_ints(n, rng), "pixels")
+    Out = mem.alloc(n * 4, "compressed")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        p = w.ld_tex(gid_addr(w, Img.base))
+        # Find min/max over a 4-pixel neighbourhood via strided texture
+        # fetches (dxtc reads its source image through a texture).
+        lo = w.mov(p)
+        hi = w.mov(p)
+        for d in (1, 2, 3):
+            q = w.ld_tex(addr_of(w, Img.base,
+                                 w.iand(w.iadd(gid, d), n - 1)))
+            lo = w.imin(lo, q)
+            hi = w.imax(hi, q)
+        span = w.imax(w.isub(hi, lo), w.const(1))
+        rel = w.shl(w.isub(p, lo), 2)
+        # Integer divide via float reciprocal, as the SDK kernel does.
+        idx = w.f2i(w.fmul(w.i2f(rel), w.frcp(w.i2f(span))))
+        code = w.ior(w.shl(lo, 8), w.iand(idx, 3))
+        w.st_global(gid_addr(w, Out.base), code)
+
+    return [Launch("dxtc", body, _BLOCKS, _WARPS)]
+
+
+@register("CSP", "sdk", "convolutionSeparable: 1-D 5-tap pass")
+def build_convsep(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    Src = mem.alloc_array(
+        smooth_f32(n + 8, rng, base=2.0).view(np.uint32), "src")
+    Dst = mem.alloc(n * 4, "dst")
+    Taps = mem.alloc_array(
+        np.asarray([0.0625, 0.25, 0.375, 0.25, 0.0625],
+                   dtype=np.float32).view(np.uint32), "taps")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        acc = w.fconst(0.0)
+        for i, off in enumerate((-2, -1, 0, 1, 2)):
+            v = w.ld_global(addr_of(w, Src.base + 8, w.iadd(gid, off)))
+            t = w.ld_const(w.const(Taps.base + i * 4))
+            acc = w.ffma(v, t, acc)
+        w.st_global(gid_addr(w, Dst.base), acc)
+
+    return [Launch("convsep.rows", body, _BLOCKS, _WARPS)]
+
+
+@register("MM", "sdk", "matrixMul: shared-memory tiled multiply")
+def build_matrixmul(mem, rng):
+    tile = 32
+    k_depth = 32
+    rows = _BLOCKS * _WARPS
+    A = mem.alloc_array(
+        smooth_f32(rows * k_depth, rng, base=1.0).view(np.uint32), "A")
+    B = mem.alloc_array(
+        smooth_f32(k_depth * tile, rng, base=0.9).view(np.uint32), "B")
+    C = mem.alloc(rows * tile * 4, "C")
+
+    def body(w):
+        tid = w.thread_idx()
+        gid = w.global_thread_idx()
+        col = w.iand(gid, tile - 1)
+        row = w.shr(gid, 5)
+        # Stage a B tile in shared memory, one element per thread.
+        b_elem = w.ld_global(addr_of(w, B.base, tid))
+        w.st_shared(w.imul(tid, 4), b_elem)
+        yield w.barrier()
+        a_row = w.imul(row, k_depth * 4)
+        acc = w.fconst(0.0)
+        for k in range(0, k_depth, 4):
+            a = w.ld_global(w.iadd(a_row, A.base + 4 * k))
+            b = w.ld_shared(w.imad(w.const(k), tile * 4, w.imul(col, 4)))
+            acc = w.ffma(a, b, acc)
+        w.st_global(gid_addr(w, C.base), acc)
+
+    return [Launch("matrixmul", body, _BLOCKS, _WARPS,
+                   shared_bytes=k_depth * tile * 4)]
+
+
+@register("RED", "sdk", "reduction: shared-memory tree sum")
+def build_reduction(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    In = mem.alloc_array(
+        smooth_f32(n, rng, base=0.5, step=0.01).view(np.uint32), "input")
+    Out = mem.alloc(_BLOCKS * 4, "partials")
+
+    def body(w):
+        val = w.ld_global(gid_addr(w, In.base))
+        yield from tree_reduce_shared(w, val, Out.base)
+
+    return [Launch("reduction", body, _BLOCKS, _WARPS,
+                   shared_bytes=_WARPS * 32 * 4)]
+
+
+@register("SCN", "sdk", "scan: Hillis-Steele inclusive prefix sum")
+def build_scan(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    In = mem.alloc_array(narrow_ints(n, rng, hi=16, signed_fraction=0.0),
+                         "input")
+    Out = mem.alloc(n * 4, "scanned")
+
+    def body(w):
+        tid = w.thread_idx()
+        val = w.ld_global(gid_addr(w, In.base))
+        w.st_shared(w.imul(tid, 4), val)
+        yield w.barrier()
+        stride = 1
+        while stride < w.block_dim():
+            has_left = w.setp_ge(tid, w.const(stride))
+            mine = w.ld_shared(w.imul(tid, 4))
+            with w.diverge(has_left):
+                left = w.ld_shared(w.imul(w.isub(tid, stride), 4))
+                summed = w.iadd(mine, left)
+            new = w.select(has_left, summed, mine)
+            yield w.barrier()
+            w.st_shared(w.imul(tid, 4), new)
+            yield w.barrier()
+            stride *= 2
+        w.st_global(gid_addr(w, Out.base), w.ld_shared(w.imul(tid, 4)))
+
+    return [Launch("scan", body, _BLOCKS, _WARPS,
+                   shared_bytes=_WARPS * 32 * 4)]
+
+
+@register("TRA", "sdk", "transpose: shared-memory tile rotation")
+def build_transpose(mem, rng):
+    dim = _WARPS * 32       # one tile row per thread block
+    Src = mem.alloc_array(
+        smooth_f32(dim * _BLOCKS, rng, base=1.0).view(np.uint32), "src")
+    Dst = mem.alloc(dim * _BLOCKS * 4, "dst")
+
+    def body(w):
+        tid = w.thread_idx()
+        v = w.ld_global(gid_addr(w, Src.base))
+        # Stage, sync, then read the "transposed" (bit-reversed) slot.
+        w.st_shared(w.imul(tid, 4), v)
+        yield w.barrier()
+        swapped = w.ixor(tid, w.const(31))
+        t = w.ld_shared(w.imul(swapped, 4))
+        w.st_global(gid_addr(w, Dst.base), t)
+
+    return [Launch("transpose", body, _BLOCKS, _WARPS,
+                   shared_bytes=dim * 4)]
+
+
+@register("VEC", "sdk", "vectorAdd: the canonical streaming kernel")
+def build_vectoradd(mem, rng):
+    n = _BLOCKS * _WARPS * 32 * 2
+    A = mem.alloc_array(smooth_f32(n, rng, base=1.0).view(np.uint32), "A")
+    B = mem.alloc_array(smooth_f32(n, rng, base=2.0).view(np.uint32), "B")
+    C = mem.alloc(n * 4, "C")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        for half in range(2):
+            idx = w.iadd(gid, half * (n // 2))
+            a = w.ld_global(addr_of(w, A.base, idx))
+            b = w.ld_global(addr_of(w, B.base, idx))
+            w.st_global(addr_of(w, C.base, idx), w.fadd(a, b))
+
+    return [Launch("vectoradd", body, _BLOCKS, _WARPS)]
+
+
+@register("OCE", "sdk", "oceanFFT: int height field to float spectrum")
+def build_oceanfft(mem, rng):
+    n = _BLOCKS * _WARPS * 32
+    H = mem.alloc_array(narrow_ints(n, rng, hi=512, signed_fraction=0.4),
+                        "heights")
+    Re = mem.alloc(n * 4, "re")
+    Im = mem.alloc(n * 4, "im")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        h = w.ld_global(gid_addr(w, H.base))
+        # The paper's example: integers converted to SP floats for speed.
+        f = w.i2f(h)
+        phase = w.fmul(w.i2f(gid), w.fconst(0.012271846))
+        c = w.fsin(w.fadd(phase, w.fconst(1.5707964)))
+        s = w.fsin(phase)
+        w.st_global(gid_addr(w, Re.base), w.fmul(f, c))
+        w.st_global(gid_addr(w, Im.base), w.fmul(f, s))
+
+    return [Launch("oceanfft.spectrum", body, _BLOCKS, _WARPS)]
+
+
+@register("IMD", "sdk", "imageDenoising: KNN-style weighted average")
+def build_imagedenoising(mem, rng):
+    width = 64
+    n = width * 40
+    Img = mem.alloc_array(image_ints(n, rng), "img")
+    Out = mem.alloc(n * 4, "out")
+
+    def body(w):
+        gid = w.global_thread_idx()
+        x = w.iand(gid, width - 1)
+        y = w.iadd(w.shr(gid, 6), 1)
+        off = w.imad(y, width * 4, w.imul(x, 4))
+        # Image samples come through the texture path, as the SDK
+        # kernel binds its image to a texture reference.
+        centre = w.i2f(w.ld_tex(w.iadd(off, Img.base)))
+        total = w.fconst(0.0)
+        weight_sum = w.fconst(0.0)
+        for d in (-width * 4, -4, 4, width * 4):
+            nb = w.i2f(w.ld_tex(w.iadd(off, Img.base + d)))
+            diff = w.fsub(nb, centre)
+            wgt = w.fexp(w.fmul(w.fconst(-0.02), w.fmul(diff, diff)))
+            total = w.ffma(wgt, nb, total)
+            weight_sum = w.fadd(weight_sum, wgt)
+        out = w.fmul(total, w.frcp(weight_sum))
+        w.st_global(w.iadd(off, Out.base), out)
+
+    return [Launch("denoise", body, _BLOCKS, _WARPS)]

@@ -1,0 +1,11 @@
+"""GPUWattch-substitute power model: unit energies and chip breakdown."""
+
+from .unit_energy import (UnitEnergy, unit_capacity_bits, sram_unit_energy,
+                          noc_energy, BVF_CELL, BASELINE_CELL)
+from .chip import ChipEnergy, ChipModel, BVF_UNITS, NONBVF_COMPONENTS
+
+__all__ = [
+    "UnitEnergy", "unit_capacity_bits", "sram_unit_energy", "noc_energy",
+    "BVF_CELL", "BASELINE_CELL",
+    "ChipEnergy", "ChipModel", "BVF_UNITS", "NONBVF_COMPONENTS",
+]

@@ -1,0 +1,136 @@
+"""Top-level simulation orchestrator: apps -> AppStats, with caching.
+
+One full run of an application is: build its buffers and launches,
+execute functionally (phase 1: traces + REG/SME tallies + data
+profiles), derive/receive the ISA mask, replay under a scheduler
+(phase 2: cache/L2/NoC/IFB tallies + timing), and assemble
+:class:`~repro.analysis.parser.AppStats`.
+
+The suite pipeline mirrors the paper's two-step methodology: the ISA
+mask is extracted from the *whole corpus* of static binaries first
+(Section 4.3's static method), then every app is replayed with that
+single architecture-wide mask.
+
+Results are memoised per (app, config, pivot) in-process so the many
+experiments and benchmarks that share a configuration simulate it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .analysis.isa_profile import ISAProfile, profile_binaries
+from .analysis.parser import AppStats, build_app_stats
+from .analysis.profiling import Profiler
+from .arch.config import BASELINE_CONFIG, GPUConfig
+from .arch.engine import FunctionalResult, run_functional
+from .arch.gpu import GPUReplay
+from .arch.memory import GlobalMemory
+from .arch.stats import Encoders
+
+__all__ = ["SuiteResult", "simulate_app", "simulate_suite", "clear_caches"]
+
+_FUNCTIONAL_CACHE: Dict[tuple, tuple] = {}
+_STATS_CACHE: Dict[tuple, AppStats] = {}
+
+
+def clear_caches() -> None:
+    """Drop memoised simulation results (mainly for tests)."""
+    _FUNCTIONAL_CACHE.clear()
+    _STATS_CACHE.clear()
+
+
+@dataclass
+class SuiteResult:
+    """Results of one suite sweep at one configuration."""
+
+    config: GPUConfig
+    isa_profile: ISAProfile
+    apps: Dict[str, AppStats]
+
+    def mean_over_apps(self, fn) -> float:
+        values = [fn(stats) for stats in self.apps.values()]
+        return float(np.mean(values)) if values else 0.0
+
+    @property
+    def app_names(self) -> List[str]:
+        return sorted(self.apps)
+
+
+def _functional_pass(app, pivot_lane: int) -> tuple:
+    """Phase 1 for one app (cached: scheduler/voltage don't affect it)."""
+    key = (app.name, pivot_lane)
+    cached = _FUNCTIONAL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    mem = GlobalMemory(size_bytes=app.memory_bytes)
+    rng = np.random.default_rng(app.seed)
+    launches = app.build(mem, rng)
+    if not launches:
+        raise ValueError(f"app {app.name!r} produced no launches")
+    profiler = Profiler()
+    # The ISA mask does not affect phase-1 tallies (REG/SME are data
+    # units), so phase 1 runs with a placeholder mask.
+    encoders = Encoders(isa_mask=0, pivot_lane=pivot_lane)
+    result = run_functional(app.name, mem, launches, encoders,
+                            profiler=profiler)
+    cached = (result, profiler)
+    _FUNCTIONAL_CACHE[key] = cached
+    return cached
+
+
+def simulate_app(app, config: GPUConfig = BASELINE_CONFIG,
+                 isa_mask: Optional[int] = None,
+                 pivot_lane: int = 21) -> AppStats:
+    """Simulate one application end to end.
+
+    When ``isa_mask`` is None the mask is derived from the app's own
+    static binary (useful standalone; suite sweeps pass the corpus-wide
+    mask instead).
+    """
+    functional, profiler = _functional_pass(app, pivot_lane)
+    if isa_mask is None:
+        from .core.masks import derive_mask
+        isa_mask = derive_mask(functional.trace.static_binary)
+
+    key = (app.name, pivot_lane, isa_mask, config)
+    cached = _STATS_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    encoders = Encoders(isa_mask=isa_mask, pivot_lane=pivot_lane)
+    replay = GPUReplay(config, encoders).run(functional.trace)
+    stats = build_app_stats(
+        app.name,
+        functional_tally=functional.tally,
+        replay_result=replay,
+        narrow=profiler.narrow,
+        lanes=profiler.lanes,
+        static_binary=functional.trace.static_binary,
+        freq_mhz=config.freq_mhz,
+    )
+    _STATS_CACHE[key] = stats
+    return stats
+
+
+def simulate_suite(apps: Iterable, config: GPUConfig = BASELINE_CONFIG,
+                   pivot_lane: int = 21) -> SuiteResult:
+    """Run the paper's two-step pipeline over a set of applications."""
+    apps = list(apps)
+    if not apps:
+        raise ValueError("no applications given")
+    binaries = {}
+    for app in apps:
+        functional, __ = _functional_pass(app, pivot_lane)
+        binaries[app.name] = functional.trace.static_binary
+    isa_profile = profile_binaries(binaries)
+
+    results = {
+        app.name: simulate_app(app, config, isa_mask=isa_profile.mask,
+                               pivot_lane=pivot_lane)
+        for app in apps
+    }
+    return SuiteResult(config=config, isa_profile=isa_profile, apps=results)

@@ -1,0 +1,195 @@
+"""Unit and property tests for repro.core.bitutils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import bitutils as bu
+
+u32s = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u64s = st.integers(min_value=0, max_value=0xFFFFFFFFFFFFFFFF)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert bu.popcount32(np.uint32(0)) == 0
+
+    def test_all_ones(self):
+        assert bu.popcount32(np.uint32(0xFFFFFFFF)) == 32
+
+    def test_single_bits(self):
+        for b in range(32):
+            assert bu.popcount32(np.uint32(1 << b)) == 1
+
+    def test_array(self):
+        arr = np.array([0, 1, 3, 7, 0xFFFFFFFF], dtype=np.uint32)
+        assert bu.popcount32(arr).tolist() == [0, 1, 2, 3, 32]
+
+    def test_popcount64_all_ones(self):
+        assert bu.popcount64(np.uint64(0xFFFFFFFFFFFFFFFF)) == 64
+
+    def test_popcount64_single_bits(self):
+        for b in (0, 15, 16, 31, 32, 47, 48, 63):
+            assert bu.popcount64(np.uint64(1 << b)) == 1
+
+    @given(u32s)
+    def test_matches_python_bin(self, v):
+        assert int(bu.popcount32(np.uint32(v))) == bin(v).count("1")
+
+    @given(u64s)
+    def test_popcount64_matches_python(self, v):
+        assert int(bu.popcount64(np.uint64(v))) == bin(v).count("1")
+
+
+class TestHamming:
+    def test_weight_total(self):
+        arr = np.array([0xF, 0xF0], dtype=np.uint32)
+        assert bu.hamming_weight(arr) == 8
+
+    def test_weight_64(self):
+        arr = np.array([0xFF00FF00FF00FF00], dtype=np.uint64)
+        assert bu.hamming_weight(arr, bits=64) == 32
+
+    def test_weight_bad_width(self):
+        with pytest.raises(ValueError):
+            bu.hamming_weight(np.array([1], dtype=np.uint32), bits=16)
+
+    def test_distance_self_is_zero(self):
+        arr = np.arange(16, dtype=np.uint32)
+        assert bu.hamming_distance(arr, arr).sum() == 0
+
+    def test_distance_complement_is_32(self):
+        a = np.array([0x12345678], dtype=np.uint32)
+        assert bu.hamming_distance(a, ~a)[0] == 32
+
+    @given(u32s, u32s)
+    def test_distance_symmetry(self, a, b):
+        d1 = bu.hamming_distance(np.uint32(a), np.uint32(b))
+        d2 = bu.hamming_distance(np.uint32(b), np.uint32(a))
+        assert int(d1) == int(d2)
+
+    @given(u32s, u32s, u32s)
+    def test_triangle_inequality(self, a, b, c):
+        dab = int(bu.hamming_distance(np.uint32(a), np.uint32(b)))
+        dbc = int(bu.hamming_distance(np.uint32(b), np.uint32(c)))
+        dac = int(bu.hamming_distance(np.uint32(a), np.uint32(c)))
+        assert dac <= dab + dbc
+
+
+class TestCountBits:
+    def test_zeros_plus_ones_is_total(self):
+        arr = np.array([5, 9, 0xFFFF], dtype=np.uint32)
+        zeros, ones = bu.count_bits(arr)
+        assert zeros + ones == arr.size * 32
+
+    def test_empty(self):
+        zeros, ones = bu.count_bits(np.array([], dtype=np.uint32))
+        assert zeros == 0 and ones == 0
+
+
+class TestLeadingZeros:
+    def test_zero_word(self):
+        assert bu.leading_zeros32(np.uint32(0)) == 32
+
+    def test_msb_set(self):
+        assert bu.leading_zeros32(np.uint32(0x80000000)) == 0
+
+    def test_one(self):
+        assert bu.leading_zeros32(np.uint32(1)) == 31
+
+    @given(st.integers(min_value=0, max_value=31))
+    def test_single_bit_positions(self, b):
+        assert int(bu.leading_zeros32(np.uint32(1 << b))) == 31 - b
+
+    def test_signed_inverts_negatives(self):
+        # -1 is all ones -> inverted to 0 -> clz 32.
+        neg1 = np.uint32(0xFFFFFFFF)
+        assert bu.signed_leading_zeros32(neg1) == 32
+
+    def test_signed_small_negative(self):
+        # -2 = ...11110 -> inverted -> 1 -> 31 leading zeros.
+        neg2 = np.int32(-2).view(np.uint32) if hasattr(np.int32(-2), 'view') \
+            else np.uint32(np.int64(-2) & 0xFFFFFFFF)
+        val = np.uint32(np.int64(-2) & 0xFFFFFFFF)
+        assert bu.signed_leading_zeros32(val) == 31
+
+    def test_signed_positive_passthrough(self):
+        assert bu.signed_leading_zeros32(np.uint32(0x0000FFFF)) == 16
+
+
+class TestBitPlanes:
+    def test_msb_convention(self):
+        counts = bu.bit_plane_counts(np.array([0x80000000], dtype=np.uint32))
+        assert counts[0] == 1 and counts[1:].sum() == 0
+
+    def test_lsb(self):
+        counts = bu.bit_plane_counts(np.array([1, 1, 1], dtype=np.uint32))
+        assert counts[31] == 3
+
+    def test_sum_equals_weight(self):
+        arr = np.array([0x12345678, 0xDEADBEEF], dtype=np.uint32)
+        assert bu.bit_plane_counts(arr).sum() == bu.hamming_weight(arr)
+
+    def test_64bit(self):
+        counts = bu.bit_plane_counts(
+            np.array([1 << 63], dtype=np.uint64), bits=64)
+        assert counts[0] == 1
+
+
+class TestByteConversions:
+    def test_roundtrip(self):
+        words = np.array([0x11223344, 0xAABBCCDD], dtype=np.uint32)
+        assert np.array_equal(bu.bytes_to_words(bu.words_to_bytes(words)),
+                              words)
+
+    def test_little_endian(self):
+        b = bu.words_to_bytes(np.array([0x11223344], dtype=np.uint32))
+        assert b.tolist() == [0x44, 0x33, 0x22, 0x11]
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            bu.bytes_to_words(np.zeros(3, dtype=np.uint8))
+
+    @given(st.lists(u32s, min_size=1, max_size=16))
+    def test_roundtrip_property(self, vals):
+        words = np.array(vals, dtype=np.uint32)
+        assert np.array_equal(bu.bytes_to_words(bu.words_to_bytes(words)),
+                              words)
+
+
+class TestFlits:
+    def test_pack_exact(self):
+        flits = bu.pack_flits(np.arange(64, dtype=np.uint8), 32)
+        assert flits.shape == (2, 32)
+
+    def test_pack_pads_tail(self):
+        flits = bu.pack_flits(np.ones(40, dtype=np.uint8), 32)
+        assert flits.shape == (2, 32)
+        assert flits[1, 8:].sum() == 0
+
+    def test_pack_empty_gives_one_flit(self):
+        assert bu.pack_flits(np.array([], dtype=np.uint8), 32).shape == (1, 32)
+
+    def test_toggles_identical(self):
+        f = np.arange(32, dtype=np.uint8)
+        assert bu.toggles_between(f, f) == 0
+
+    def test_toggles_complement(self):
+        f = np.zeros(32, dtype=np.uint8)
+        assert bu.toggles_between(f, ~f) == 256
+
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=4),
+           st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    def test_toggles_symmetric(self, a, b):
+        fa = np.array(a, dtype=np.uint8)
+        fb = np.array(b, dtype=np.uint8)
+        assert bu.toggles_between(fa, fb) == bu.toggles_between(fb, fa)
+
+
+class TestFloatBits:
+    def test_one(self):
+        assert bu.float_to_bits(np.float32(1.0)) == 0x3F800000
+
+    def test_roundtrip(self):
+        vals = np.array([0.0, 1.5, -2.25, 1e10], dtype=np.float32)
+        assert np.array_equal(bu.bits_to_float(bu.float_to_bits(vals)), vals)

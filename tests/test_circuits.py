@@ -1,0 +1,268 @@
+"""Unit tests for the circuit substrate: technology, netlist, bitcells,
+arrays and the 6T-BVF reliability analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits import (
+    AccessKind, ArrayGeometry, BVF8T, CELL_TYPES, GainCellEDRAM, Netlist,
+    SRAM6T, SRAM6TBVF, SRAM8T, SRAMArray, SwingEvent, TECH_28NM, TECH_40NM,
+    TECH_65NM, TECH_BY_NAME, PSTATES, energy_table, leakage_scale,
+    max_safe_cells_per_bitline, read_disturbance, sweep_cells_per_bitline,
+)
+
+
+class TestTechnology:
+    def test_registry_complete(self):
+        assert set(TECH_BY_NAME) == {"28nm", "40nm", "65nm"}
+
+    def test_caps_scale_with_node(self):
+        assert TECH_28NM.cgate_ff_per_um < TECH_40NM.cgate_ff_per_um
+        assert TECH_40NM.cgate_ff_per_um < TECH_65NM.cgate_ff_per_um
+
+    def test_wire_cap_linear(self):
+        assert TECH_28NM.wire_cap_ff(200) == pytest.approx(
+            2 * TECH_28NM.wire_cap_ff(100))
+
+    def test_nmos_drive_ratio_range(self):
+        for tech in TECH_BY_NAME.values():
+            assert 1.5 <= tech.nmos_drive_ratio() <= 2.1
+
+    def test_pstates_match_paper(self):
+        points = {(p.vdd, p.freq_mhz) for p in PSTATES}
+        assert points == {(1.2, 700), (0.9, 500), (0.6, 300)}
+
+    def test_leakage_scale_nominal_is_one(self):
+        assert leakage_scale(TECH_28NM, 1.2) == pytest.approx(1.0)
+
+    def test_leakage_drops_with_voltage(self):
+        assert leakage_scale(TECH_28NM, 0.6) < 0.1
+
+    def test_leakage_60x_claim(self):
+        # Section 2.2: >60x leakage reduction from 1.2V to ~0.41V.
+        assert 1.0 / leakage_scale(TECH_28NM, 0.41) > 60
+
+    def test_leakage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            leakage_scale(TECH_28NM, 0.0)
+
+
+class TestNetlist:
+    def test_full_cycle_energy(self):
+        net = Netlist(vdd=1.2)
+        net.add_node("bl", 100.0)
+        result = net.evaluate(net.full_cycle("bl"))
+        assert result.energy_fj == pytest.approx(100.0 * 1.2 * 1.2)
+
+    def test_pulse_same_as_cycle(self):
+        net = Netlist(vdd=1.0)
+        net.add_node("wl", 50.0)
+        assert net.evaluate(net.pulse("wl")).energy_fj == pytest.approx(
+            net.evaluate(net.full_cycle("wl")).energy_fj)
+
+    def test_falling_edge_is_free(self):
+        net = Netlist(vdd=1.2)
+        net.add_node("n", 10.0)
+        result = net.evaluate([SwingEvent("n", 1.2, 0.0)])
+        assert result.energy_fj == 0.0
+
+    def test_unknown_node_raises(self):
+        net = Netlist(vdd=1.2)
+        with pytest.raises(KeyError):
+            net.evaluate([SwingEvent("ghost", 0.0, 1.2)])
+
+    def test_out_of_rail_raises(self):
+        net = Netlist(vdd=1.0)
+        net.add_node("n", 1.0)
+        with pytest.raises(ValueError):
+            net.evaluate([SwingEvent("n", 0.0, 2.0)])
+
+    def test_duplicate_node_raises(self):
+        net = Netlist(vdd=1.0)
+        net.add_node("n", 1.0)
+        with pytest.raises(ValueError):
+            net.add_node("n", 2.0)
+
+    def test_negative_cap_raises(self):
+        net = Netlist(vdd=1.0)
+        with pytest.raises(ValueError):
+            net.add_node("n", -1.0)
+
+    def test_parallel_sums(self):
+        net = Netlist(vdd=1.0)
+        node = net.add_parallel("n", 1.0, 2.0, 3.0)
+        assert node.capacitance_ff == 6.0
+
+    def test_dominated_by(self):
+        net = Netlist(vdd=1.0)
+        net.add_node("big", 100.0)
+        net.add_node("small", 1.0)
+        result = net.evaluate(net.full_cycle("big")
+                              + net.full_cycle("small"))
+        assert result.dominated_by() == "big"
+
+
+class TestBitcells:
+    def test_registry(self):
+        assert set(CELL_TYPES) == {"6T", "6T-BVF", "8T", "BVF-8T",
+                                   "eDRAM-3T"}
+
+    def test_6t_is_value_symmetric(self):
+        cell = SRAM6T()
+        for kind in AccessKind:
+            c0 = sum(s.cycles for s in cell.access_swings(kind, 0))
+            c1 = sum(s.cycles for s in cell.access_swings(kind, 1))
+            assert c0 == c1
+
+    def test_8t_read_favors_one(self):
+        assert SRAM8T().favors_bit1(AccessKind.READ)
+
+    def test_8t_write_symmetric(self):
+        assert not SRAM8T().favors_bit1(AccessKind.WRITE)
+
+    def test_bvf8t_favors_one_both_ways(self):
+        cell = BVF8T()
+        assert cell.favors_bit1(AccessKind.READ)
+        assert cell.favors_bit1(AccessKind.WRITE)
+
+    def test_bvf8t_write_miss_doubles(self):
+        # Figure 4-C: a write-0 miss swings both bitlines.
+        swings = BVF8T().access_swings(AccessKind.WRITE, 0)
+        assert len(swings) == 2
+        assert BVF8T().access_swings(AccessKind.WRITE, 1) == ()
+
+    def test_edram_single_ended_write_miss(self):
+        # Section 7.2: eDRAM write-0 costs one swing, not two.
+        assert len(GainCellEDRAM().access_swings(AccessKind.WRITE, 0)) == 1
+
+    def test_edram_refresh_favors_one(self):
+        cell = GainCellEDRAM()
+        assert len(cell.refresh_swings(1)) < len(cell.refresh_swings(0))
+
+    def test_area_factors(self):
+        assert CELL_TYPES["8T"].area_factor > CELL_TYPES["6T"].area_factor
+        assert CELL_TYPES["eDRAM-3T"].area_factor < 1.0
+
+    def test_leakage_bit_validation(self):
+        with pytest.raises(ValueError):
+            SRAM8T().leakage_power_w(2, TECH_28NM, 1.2)
+
+    def test_bvf_leakage_calibration(self):
+        """Section 3.1's three reported numbers, exactly."""
+        bvf = BVF8T()
+        conv = SRAM8T()
+        assert 1 - bvf.leakage_factor(0) / conv.leakage_factor(0) == \
+            pytest.approx(0.0043)
+        assert 1 - bvf.leakage_factor(1) / conv.leakage_factor(1) == \
+            pytest.approx(0.0301)
+        assert 1 - bvf.leakage_factor(1) / bvf.leakage_factor(0) == \
+            pytest.approx(0.0961)
+
+    def test_6t_bvf_retrofit_favors_one(self):
+        cell = SRAM6TBVF()
+        assert cell.favors_bit1(AccessKind.READ)
+        assert cell.favors_bit1(AccessKind.WRITE)
+
+
+class TestArray:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(rows=0)
+
+    def test_bitline_cap_grows_with_rows(self):
+        small = SRAMArray(SRAM8T(), ArrayGeometry(rows=16), TECH_28NM)
+        large = SRAMArray(SRAM8T(), ArrayGeometry(rows=128), TECH_28NM)
+        assert large.bitline_cap_ff("rbl") > small.bitline_cap_ff("rbl")
+
+    def test_energy_positive(self):
+        table = energy_table("BVF-8T", "28nm", 1.2)
+        for e in table.read_fj + table.write_fj:
+            assert e > 0
+
+    def test_read1_much_cheaper(self):
+        table = energy_table("BVF-8T", "28nm", 1.2)
+        assert table.read_fj[1] < 0.3 * table.read_fj[0]
+
+    def test_write_miss_roughly_doubles(self):
+        bvf = energy_table("BVF-8T", "28nm", 1.2)
+        conv = energy_table("8T", "28nm", 1.2)
+        assert bvf.write_fj[0] > 1.5 * conv.write_fj[0]
+
+    def test_energy_quadratic_in_vdd(self):
+        hi = energy_table("8T", "28nm", 1.2)
+        lo = energy_table("8T", "28nm", 0.6)
+        assert lo.read_fj[0] == pytest.approx(hi.read_fj[0] / 4, rel=0.01)
+
+    def test_asymmetry_consistent_across_nodes(self):
+        for tech in ("28nm", "40nm"):
+            t = energy_table("BVF-8T", tech, 1.2)
+            assert t.read_fj[1] < t.read_fj[0]
+            assert t.write_fj[1] < t.write_fj[0]
+
+    def test_value_symmetric_average(self):
+        t = energy_table("8T", "28nm", 1.2)
+        assert t.value_symmetric_read_fj == pytest.approx(
+            0.5 * (t.read_fj[0] + t.read_fj[1]))
+
+    def test_energy_fj_accumulates(self):
+        t = energy_table("8T", "28nm", 1.2)
+        total = t.energy_fj(1, 2, 3, 4)
+        expected = (t.read_fj[0] + 2 * t.read_fj[1]
+                    + 3 * t.write_fj[0] + 4 * t.write_fj[1])
+        assert total == pytest.approx(expected)
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            energy_table("9T", "28nm", 1.2)
+
+    def test_unknown_tech_raises(self):
+        with pytest.raises(KeyError):
+            energy_table("8T", "22nm", 1.2)
+
+    def test_refresh_only_for_edram(self):
+        arr = SRAMArray(SRAM8T(), ArrayGeometry(), TECH_28NM)
+        with pytest.raises(TypeError):
+            arr.refresh_energy_fj(0)
+
+    def test_bad_bit_raises(self):
+        arr = SRAMArray(SRAM8T(), ArrayGeometry(), TECH_28NM)
+        with pytest.raises(ValueError):
+            arr.access_energy_fj(AccessKind.READ, 2)
+
+    @given(st.sampled_from(["6T", "8T", "BVF-8T", "eDRAM-3T"]),
+           st.sampled_from(["28nm", "40nm", "65nm"]),
+           st.floats(min_value=0.5, max_value=1.2))
+    def test_tables_always_positive(self, cell, tech, vdd):
+        t = energy_table(cell, tech, round(vdd, 2))
+        assert min(t.read_fj + t.write_fj) > 0
+        assert min(t.leak_w_per_cell) > 0
+
+
+class TestReliability:
+    def test_paper_threshold(self):
+        assert max_safe_cells_per_bitline(TECH_28NM) == 16
+
+    def test_disturbance_monotone_in_cells(self):
+        sweep = sweep_cells_per_bitline(range(1, 64), TECH_28NM)
+        values = [d.disturbance_v for d in sweep]
+        assert values == sorted(values)
+
+    def test_flip_flag_consistent(self):
+        d = read_disturbance(128, TECH_28NM)
+        assert d.flips and d.margin_v < 0
+
+    def test_safe_at_small_loading(self):
+        d = read_disturbance(4, TECH_28NM)
+        assert not d.flips and d.margin_v > 0
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValueError):
+            read_disturbance(0)
+
+    def test_snm_scales_with_voltage(self):
+        lo = read_disturbance(8, TECH_28NM, vdd=0.6)
+        hi = read_disturbance(8, TECH_28NM, vdd=1.2)
+        assert lo.snm_v < hi.snm_v

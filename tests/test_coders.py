@@ -1,0 +1,283 @@
+"""Unit and property tests for the three BVF coders and their spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CODER_SPACES, ComposedCoder, DEFAULT_PIVOT_LANE, IdentityCoder,
+    ISACoder, NVCoder, REFERENCE_MASKS, Unit, VSCoder, coders_for_unit,
+    count_bits, derive_mask, encoding_gain, hamming_objective,
+    hamming_weight, mask_to_hex, units_for_coder, xnor,
+)
+
+u32s = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u32_arrays = st.lists(u32s, min_size=1, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.uint32))
+warp_blocks = st.lists(u32s, min_size=32, max_size=32).map(
+    lambda xs: np.array(xs, dtype=np.uint32))
+
+
+class TestXnor:
+    def test_identity_with_all_ones(self):
+        assert int(xnor(np.uint32(0x1234), np.uint32(0xFFFFFFFF))) == 0x1234
+
+    def test_inverts_with_zero(self):
+        assert int(xnor(np.uint32(0), np.uint32(0))) == 0xFFFFFFFF
+
+    @given(u32s, u32s)
+    def test_commutative(self, a, b):
+        assert int(xnor(np.uint32(a), np.uint32(b))) == int(
+            xnor(np.uint32(b), np.uint32(a)))
+
+    @given(u32s, u32s)
+    def test_involution(self, a, b):
+        once = xnor(np.uint32(a), np.uint32(b))
+        assert int(xnor(once, np.uint32(b))) == a
+
+
+class TestNVCoder:
+    def setup_method(self):
+        self.nv = NVCoder()
+
+    def test_positive_narrow_becomes_dense(self):
+        # 5 = 29 leading zeros; after NV almost all ones.
+        encoded = self.nv.encode_words(np.array([5], dtype=np.uint32))
+        assert hamming_weight(encoded) >= 29
+
+    def test_zero_becomes_31_ones(self):
+        encoded = self.nv.encode_words(np.array([0], dtype=np.uint32))
+        assert int(encoded[0]) == 0x7FFFFFFF
+
+    def test_negative_unchanged(self):
+        word = np.array([0xFFFFFFF0], dtype=np.uint32)
+        assert np.array_equal(self.nv.encode_words(word), word)
+
+    def test_sign_bit_preserved(self):
+        words = np.array([0x00000001, 0x80000001], dtype=np.uint32)
+        enc = self.nv.encode_words(words)
+        assert (enc >> 31).tolist() == [0, 1]
+
+    @given(u32_arrays)
+    def test_involution(self, words):
+        assert self.nv.is_involution_on(words)
+
+    @given(u32_arrays)
+    def test_improves_narrow_positive_data(self, words):
+        narrow = words % 1024          # narrow positive values
+        gain = encoding_gain(narrow, self.nv.encode_words(narrow))
+        assert gain.improves
+
+    def test_scalar_input(self):
+        assert int(self.nv.encode_words(np.uint32(0))) == 0x7FFFFFFF
+
+    def test_units_match_table1(self):
+        assert self.nv.units == units_for_coder("NV")
+        assert Unit.SME in self.nv.units
+        assert Unit.L1I not in self.nv.units
+
+
+class TestVSCoder:
+    def setup_method(self):
+        self.vs = VSCoder()
+
+    def test_default_pivot_is_21(self):
+        assert self.vs.pivot_index == DEFAULT_PIVOT_LANE == 21
+
+    def test_pivot_stored_raw(self):
+        block = np.arange(32, dtype=np.uint32)
+        enc = self.vs.encode_words(block)
+        assert enc[21] == block[21]
+
+    def test_identical_lanes_become_all_ones(self):
+        block = np.full(32, 0xDEADBEEF, dtype=np.uint32)
+        enc = self.vs.encode_words(block)
+        non_pivot = np.delete(enc, 21)
+        assert (non_pivot == 0xFFFFFFFF).all()
+
+    @given(warp_blocks)
+    def test_involution(self, block):
+        assert self.vs.is_involution_on(block)
+
+    @given(warp_blocks)
+    def test_similar_data_improves(self, block):
+        similar = (block & np.uint32(0xFF)) | np.uint32(0x3F800000)
+        gain = encoding_gain(similar, self.vs.encode_words(similar))
+        assert gain.improves
+
+    def test_short_block_pivot_clamped(self):
+        block = np.arange(4, dtype=np.uint32)
+        enc = self.vs.encode_words(block)
+        assert enc[3] == block[3]      # pivot falls back to last element
+        assert np.array_equal(self.vs.decode_words(enc), block)
+
+    def test_line_pivot_zero(self):
+        vs0 = VSCoder(pivot_index=0)
+        line = np.full(32, 7, dtype=np.uint32)
+        enc = vs0.encode_words(line)
+        assert enc[0] == 7 and (enc[1:] == 0xFFFFFFFF).all()
+
+    def test_negative_pivot_rejected(self):
+        with pytest.raises(ValueError):
+            VSCoder(pivot_index=-1)
+
+    def test_masked_roundtrip_with_inactive_pivot(self):
+        block = np.arange(32, dtype=np.uint32) + 100
+        active = np.ones(32, dtype=bool)
+        active[21] = False
+        enc = self.vs.encode_masked(block, active)
+        dec = self.vs.decode_masked(enc, active)
+        assert np.array_equal(dec, block)
+
+    def test_masked_inactive_lanes_untouched(self):
+        block = np.arange(32, dtype=np.uint32)
+        active = np.zeros(32, dtype=bool)
+        active[:8] = True
+        enc = self.vs.encode_masked(block, active)
+        assert np.array_equal(enc[8:], block[8:])
+
+    def test_masked_no_active_lanes(self):
+        block = np.arange(32, dtype=np.uint32)
+        enc = self.vs.encode_masked(block, np.zeros(32, dtype=bool))
+        assert np.array_equal(enc, block)
+
+    def test_masked_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            self.vs.encode_masked(np.zeros(32, dtype=np.uint32),
+                                  np.ones(16, dtype=bool))
+
+    @given(warp_blocks, st.lists(st.booleans(), min_size=32, max_size=32))
+    def test_masked_involution(self, block, mask):
+        active = np.array(mask, dtype=bool)
+        enc = self.vs.encode_masked(block, active)
+        assert np.array_equal(self.vs.decode_masked(enc, active), block)
+
+    def test_units_exclude_sme(self):
+        assert Unit.SME not in self.vs.units
+
+
+class TestISACoder:
+    def test_mask_word_encodes_to_all_ones(self):
+        mask = REFERENCE_MASKS["Pascal"]
+        coder = ISACoder(mask)
+        enc = coder.encode_words(np.array([mask], dtype=np.uint64))
+        assert int(enc[0]) == 0xFFFFFFFFFFFFFFFF
+
+    @given(st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=32))
+    def test_involution(self, words):
+        coder = ISACoder(REFERENCE_MASKS["Kepler"])
+        arr = np.array(words, dtype=np.uint64)
+        assert np.array_equal(coder.encode_words(coder.encode_words(arr)),
+                              arr)
+
+    def test_majority_mask_maximises_ones(self):
+        """derive_mask must beat every other mask on its own corpus."""
+        rng = np.random.default_rng(7)
+        corpus = rng.integers(0, 1 << 16, 200, dtype=np.uint64)
+        mask = derive_mask(corpus)
+        best = hamming_weight(ISACoder(mask).encode_words(corpus), 64)
+        for other in (0, 0xFFFFFFFFFFFFFFFF, REFERENCE_MASKS["Fermi"]):
+            alt = hamming_weight(ISACoder(other).encode_words(corpus), 64)
+            assert best >= alt
+
+    def test_mask_hex_format(self):
+        assert mask_to_hex(REFERENCE_MASKS["Pascal"]) == \
+            "0x4818-0000-0007-0201"
+
+    def test_reference_masks_all_architectures(self):
+        assert set(REFERENCE_MASKS) == {"Fermi", "Kepler", "Maxwell",
+                                        "Pascal"}
+
+    def test_derive_mask_empty_corpus(self):
+        with pytest.raises(ValueError):
+            derive_mask(np.array([], dtype=np.uint64))
+
+    def test_isa_space(self):
+        coder = ISACoder(0)
+        assert Unit.IFB in coder.units and Unit.REG not in coder.units
+
+
+class TestComposition:
+    def test_identity_coder_is_noop(self):
+        ident = IdentityCoder()
+        words = np.arange(10, dtype=np.uint32)
+        assert np.array_equal(ident.encode_words(words), words)
+        assert ident.units == frozenset()
+
+    def test_nv_vs_composition_roundtrip(self):
+        composed = ComposedCoder([NVCoder(), VSCoder()])
+        block = np.arange(32, dtype=np.uint32) * 3
+        enc = composed.encode_words(block)
+        assert np.array_equal(composed.decode_words(enc), block)
+
+    @given(warp_blocks)
+    def test_nv_and_vs_commute(self, block):
+        """NV and VS commute: both are XNOR-affine, and the sign of a
+        VS-encoded word equals the XNOR of the operand signs, which
+        makes the sign-conditional NV masks cancel. This is what makes
+        Section 3.3's overlapping-space property unconditional."""
+        a = ComposedCoder([NVCoder(), VSCoder()])
+        b = ComposedCoder([VSCoder(), NVCoder()])
+        assert np.array_equal(a.encode_words(block), b.encode_words(block))
+
+    def test_abbrs(self):
+        assert ComposedCoder([NVCoder(), VSCoder()]).abbrs == ("NV", "VS")
+
+    def test_overlapping_spaces_property_ii(self):
+        """Section 3.3 property II: layered spaces recover independently."""
+        nv, vs = NVCoder(), VSCoder()
+        block = np.arange(32, dtype=np.uint32) * 17 + 3
+        stored = vs.encode_words(nv.encode_words(block))
+        # The VS space decodes its layer; the NV layer is then intact.
+        assert np.array_equal(nv.decode_words(vs.decode_words(stored)),
+                              block)
+
+
+class TestSpaces:
+    def test_table1_nv(self):
+        assert units_for_coder("NV") == frozenset({
+            Unit.REG, Unit.SME, Unit.L1D, Unit.L1T, Unit.L1C, Unit.NOC,
+            Unit.L2})
+
+    def test_table1_vs(self):
+        assert units_for_coder("VS") == frozenset({
+            Unit.REG, Unit.L1D, Unit.L1T, Unit.L1C, Unit.NOC, Unit.L2})
+
+    def test_table1_isa(self):
+        assert units_for_coder("ISA") == frozenset({
+            Unit.IFB, Unit.L1I, Unit.NOC, Unit.L2})
+
+    def test_unknown_coder(self):
+        with pytest.raises(KeyError):
+            units_for_coder("XYZ")
+
+    def test_coders_for_reg(self):
+        assert coders_for_unit(Unit.REG) == ("NV", "VS")
+
+    def test_coders_for_sme(self):
+        assert coders_for_unit(Unit.SME) == ("NV",)
+
+    def test_coders_for_l1i(self):
+        assert coders_for_unit(Unit.L1I) == ("ISA",)
+
+    def test_overlap(self):
+        overlap = CODER_SPACES["NV"].overlap(CODER_SPACES["VS"])
+        assert Unit.REG in overlap and Unit.SME not in overlap
+
+
+class TestObjective:
+    def test_hamming_objective_counts_ones(self):
+        assert hamming_objective(np.array([0xF], dtype=np.uint32)) == 4
+
+    def test_gain_size_mismatch(self):
+        with pytest.raises(ValueError):
+            encoding_gain(np.zeros(2, dtype=np.uint32),
+                          np.zeros(3, dtype=np.uint32))
+
+    def test_gain_fractions(self):
+        base = np.array([0], dtype=np.uint32)
+        enc = np.array([0xFFFFFFFF], dtype=np.uint32)
+        g = encoding_gain(base, enc)
+        assert g.baseline_one_fraction == 0.0
+        assert g.encoded_one_fraction == 1.0
+        assert g.gained_ones == 32

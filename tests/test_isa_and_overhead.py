@@ -1,0 +1,98 @@
+"""Tests for the synthetic ISA encoding and the Section-6.3 overhead."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.isa import (InstructionFields, OPCODE_CLASS, OpClass,
+                            Opcode, decode, encode)
+from repro.circuits import TECH_28NM, TECH_40NM
+from repro.core.overhead import (PAPER_XNOR_COUNT, count_xnor_gates,
+                                 overhead_report)
+
+
+class TestISA:
+    def test_every_opcode_classified(self):
+        assert set(OPCODE_CLASS) == set(Opcode)
+
+    def test_roundtrip_simple(self):
+        word = encode(Opcode.FADD, dst=5, src1=6, src2=7, pred=1, imm=42)
+        fields = decode(word)
+        assert fields == InstructionFields(Opcode.FADD, 5, 6, 7, 1, 42)
+
+    @given(st.sampled_from(list(Opcode)),
+           st.integers(0, 255), st.integers(0, 255), st.integers(0, 255),
+           st.integers(0, 15), st.integers(0, (1 << 26) - 1))
+    def test_roundtrip_property(self, op, dst, s1, s2, pred, imm):
+        fields = decode(encode(op, dst, s1, s2, pred, imm))
+        assert (fields.opcode, fields.dst, fields.src1, fields.src2,
+                fields.pred, fields.imm) == (op, dst, s1, s2, pred, imm)
+
+    def test_field_range_validation(self):
+        with pytest.raises(ValueError):
+            encode(Opcode.MOV, dst=256)
+        with pytest.raises(ValueError):
+            encode(Opcode.MOV, pred=16)
+
+    def test_imm_truncated_to_26_bits(self):
+        word = encode(Opcode.MOV, imm=-1)
+        assert decode(word).imm == (1 << 26) - 1
+
+    def test_memory_opcodes_classified(self):
+        assert OPCODE_CLASS[Opcode.LDG] is OpClass.LOAD
+        assert OPCODE_CLASS[Opcode.STG] is OpClass.STORE
+        assert OPCODE_CLASS[Opcode.BAR] is OpClass.CONTROL
+
+    def test_typical_encoding_is_zero_biased(self):
+        """The Fig-14 premise: common instructions are mostly 0 bits."""
+        word = encode(Opcode.FFMA, dst=10, src1=11, src2=12)
+        assert bin(word).count("1") < 16
+
+
+class TestOverhead:
+    def test_inventory_near_paper(self):
+        inv = count_xnor_gates()
+        ratio = inv.total_gates / PAPER_XNOR_COUNT
+        assert 0.8 < ratio < 1.2
+
+    def test_inventory_scales_with_sms(self):
+        small = count_xnor_gates(n_sms=1)
+        big = count_xnor_gates(n_sms=30)
+        assert big.total_gates > 20 * small.total_gates
+
+    def test_vs_coders_skip_pivot_lane(self):
+        inv = count_xnor_gates()
+        # Each register interface: NV full 32 lanes, VS 31 lanes.
+        assert inv.reg_gates_per_sm == 2 * (32 * 32 + 31 * 32)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            count_xnor_gates(n_sms=0)
+
+    def test_power_in_paper_ballpark(self):
+        report = overhead_report(TECH_28NM)
+        assert 0.02 < report.dynamic_power_w < 0.12    # paper: 46.5 mW
+        assert 5e-6 < report.static_power_w < 6e-5     # paper: 18.7 uW
+
+    def test_area_in_paper_ballpark(self):
+        assert 0.1 < overhead_report(TECH_28NM).area_mm2 < 0.4
+        assert 0.2 < overhead_report(TECH_40NM).area_mm2 < 0.6
+
+    def test_static_power_grows_with_node(self):
+        assert (overhead_report(TECH_40NM).static_power_w
+                > overhead_report(TECH_28NM).static_power_w * 0.5)
+
+    def test_dynamic_scales_quadratically_with_vdd(self):
+        hi = overhead_report(TECH_28NM, vdd=1.2)
+        lo = overhead_report(TECH_28NM, vdd=0.6)
+        assert lo.dynamic_power_w == pytest.approx(hi.dynamic_power_w / 4,
+                                                   rel=0.01)
+
+    def test_delay_negligible_vs_cycle(self):
+        report = overhead_report(TECH_28NM)
+        cycle_ps = 1e12 / 700e6
+        assert report.gate_delay_ps < 0.02 * cycle_ps
+
+    def test_dynamic_fraction_helper(self):
+        report = overhead_report(TECH_40NM)
+        assert report.dynamic_fraction_of(100.0) == pytest.approx(
+            report.dynamic_power_w / 100.0)

@@ -1,0 +1,155 @@
+"""Tests for the unit-energy and chip-level power models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AppStats
+from repro.arch.config import BASELINE_CONFIG
+from repro.arch.stats import AccessCounts
+from repro.core.spaces import Unit
+from repro.power import (BASELINE_CELL, BVF_CELL, BVF_UNITS, ChipModel,
+                         noc_energy, sram_unit_energy, unit_capacity_bits)
+
+
+def make_stats(one_fraction_base=0.2, one_fraction_all=0.9,
+               bits=1_000_000, **kw):
+    counts = {}
+    for unit in (Unit.REG, Unit.SME, Unit.L1D, Unit.L1I, Unit.L1C,
+                 Unit.L1T, Unit.L2, Unit.IFB):
+        for variant, frac in (("base", one_fraction_base),
+                              ("NV", one_fraction_all),
+                              ("VS", one_fraction_all),
+                              ("ISA", one_fraction_base),
+                              ("ALL", one_fraction_all)):
+            ones = int(bits * frac)
+            counts[(unit, variant)] = AccessCounts(
+                read0=(bits - ones) // 2, read1=ones // 2,
+                write0=(bits - ones) - (bits - ones) // 2,
+                write1=ones - ones // 2)
+    defaults = dict(
+        app_name="synthetic", counts=counts,
+        noc_toggles={"base": 1_000_000, "NV": 990_000, "VS": 800_000,
+                     "ISA": 1_000_000, "ALL": 600_000},
+        noc_bit_slots=10_000_000, noc_flits=5000,
+        cycles=20_000, used_sms=4, freq_mhz=700,
+        lane_ops_by_class={"alu": 200_000, "fpu": 150_000, "load": 80_000},
+        instructions=15_000, dram_accesses=400, l1d_hit_rate=0.8,
+        footprints={u: 0.1 for u in (Unit.REG, Unit.SME, Unit.L1D,
+                                     Unit.L1I, Unit.L1C, Unit.L1T,
+                                     Unit.L2, Unit.IFB)},
+    )
+    defaults.update(kw)
+    return AppStats(**defaults)
+
+
+class TestUnitCapacities:
+    def test_reg_capacity(self):
+        bits = unit_capacity_bits(Unit.REG, BASELINE_CONFIG)
+        assert bits == 128 * 1024 * 8 * 15
+
+    def test_l2_capacity_shared(self):
+        assert unit_capacity_bits(Unit.L2, BASELINE_CONFIG) == \
+            768 * 1024 * 8
+
+    def test_noc_has_no_sram_capacity(self):
+        with pytest.raises(ValueError):
+            unit_capacity_bits(Unit.NOC, BASELINE_CONFIG)
+
+
+class TestUnitEnergy:
+    def test_energy_positive(self):
+        stats = make_stats()
+        ue = sram_unit_energy(stats, Unit.REG, "base", BASELINE_CELL,
+                              "40nm", 1.2, BASELINE_CONFIG)
+        assert ue.dynamic_j > 0 and ue.leakage_j > 0
+        assert ue.total_j == ue.dynamic_j + ue.leakage_j
+
+    def test_bvf_encoded_cheaper_than_baseline(self):
+        stats = make_stats()
+        base = sram_unit_energy(stats, Unit.REG, "base", BASELINE_CELL,
+                                "40nm", 1.2, BASELINE_CONFIG)
+        bvf = sram_unit_energy(stats, Unit.REG, "ALL", BVF_CELL,
+                               "40nm", 1.2, BASELINE_CONFIG)
+        assert bvf.total_j < 0.6 * base.total_j
+
+    def test_bvf_cells_with_zero_heavy_data_cost_more_writes(self):
+        """Without the coders, BVF-8T write-0 misses double write power —
+        the speculation only pays off with architectural support."""
+        stats = make_stats(one_fraction_base=0.1)
+        conv = sram_unit_energy(stats, Unit.REG, "base", BASELINE_CELL,
+                                "40nm", 1.2, BASELINE_CONFIG)
+        bvf_uncoded = sram_unit_energy(stats, Unit.REG, "base", BVF_CELL,
+                                       "40nm", 1.2, BASELINE_CONFIG)
+        assert bvf_uncoded.dynamic_j > conv.dynamic_j
+
+    def test_leakage_scales_with_voltage(self):
+        stats = make_stats()
+        hi = sram_unit_energy(stats, Unit.L2, "base", BASELINE_CELL,
+                              "40nm", 1.2, BASELINE_CONFIG)
+        lo = sram_unit_energy(stats, Unit.L2, "base", BASELINE_CELL,
+                              "40nm", 0.6, BASELINE_CONFIG)
+        assert lo.leakage_j < 0.1 * hi.leakage_j
+
+    def test_noc_energy_tracks_toggles(self):
+        stats = make_stats()
+        base = noc_energy(stats, "base", "40nm", 1.2, BASELINE_CONFIG)
+        enc = noc_energy(stats, "ALL", "40nm", 1.2, BASELINE_CONFIG)
+        assert enc.dynamic_j == pytest.approx(0.6 * base.dynamic_j)
+
+
+class TestChipModel:
+    def test_breakdown_components(self):
+        model = ChipModel("40nm")
+        chip = model.baseline(make_stats())
+        names = set(chip.components)
+        for unit in BVF_UNITS:
+            assert unit.name in names
+        assert {"NOC", "COMPUTE", "MC", "FABRIC"} <= names
+
+    def test_bvf_includes_coder_overhead(self):
+        model = ChipModel("40nm")
+        chip = model.bvf(make_stats())
+        assert "CODERS" in chip.components
+        assert chip.components["CODERS"] < 0.05 * chip.total_j
+
+    def test_reduction_in_paper_band(self):
+        model = ChipModel("40nm")
+        stats = make_stats()
+        red = model.bvf(stats).reduction_vs(model.baseline(stats))
+        assert 0.05 < red < 0.6
+
+    def test_28nm_reduction_smaller_than_40nm(self):
+        stats = make_stats()
+        red28 = ChipModel("28nm").bvf(stats).reduction_vs(
+            ChipModel("28nm").baseline(stats))
+        red40 = ChipModel("40nm").bvf(stats).reduction_vs(
+            ChipModel("40nm").baseline(stats))
+        assert red40 > red28 > 0
+
+    def test_bvf_units_share_reasonable(self):
+        chip = ChipModel("40nm").baseline(make_stats())
+        share = chip.bvf_units_j() / chip.total_j
+        assert 0.15 < share < 0.85
+
+    def test_dvfs_scales_total_down(self):
+        stats = make_stats()
+        nominal = ChipModel("40nm", vdd=1.2).baseline(stats).total_j
+        scaled = ChipModel("40nm", vdd=0.6).baseline(stats).total_j
+        assert scaled < 0.5 * nominal
+
+    def test_reduction_vs_zero_baseline(self):
+        from repro.power import ChipEnergy
+        assert ChipEnergy().reduction_vs(ChipEnergy()) == 0.0
+
+    def test_unit_energy_dispatches_noc(self):
+        model = ChipModel("40nm")
+        ue = model.unit_energy(make_stats(), Unit.NOC, BVF_CELL, "ALL")
+        assert ue.unit == "NOC"
+
+    def test_6t_baseline_higher_than_8t(self):
+        """Fig 23's premise: 6T reads cost more (no read-1 discount)."""
+        stats = make_stats()
+        model = ChipModel("40nm")
+        e6t = model.evaluate(stats, "6T", "base").total_j
+        e8t = model.evaluate(stats, "8T", "base").total_j
+        assert e6t > e8t

@@ -1,0 +1,173 @@
+"""Integration tests for the replay engine (caches + NoC + timing)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (BASELINE_CONFIG, Encoders, GPUReplay, GlobalMemory,
+                        Launch, run_functional)
+from repro.arch.config import GPUConfig
+from repro.core.spaces import Unit
+
+
+def simulate(body, n_blocks=2, warps_per_block=2, config=BASELINE_CONFIG,
+             setup=None, shared_bytes=0):
+    mem = GlobalMemory(size_bytes=1 << 20)
+    buffers = setup(mem) if setup else {}
+    enc = Encoders(isa_mask=0)
+    func = run_functional(
+        "t", mem,
+        [Launch("k", lambda w: body(w, buffers), n_blocks, warps_per_block,
+                shared_bytes)],
+        enc)
+    replay = GPUReplay(config, enc).run(func.trace)
+    return func, replay, buffers
+
+
+def streaming_setup(mem):
+    data = np.arange(4096, dtype=np.uint32)
+    return {"src": mem.alloc_array(data, "src"),
+            "dst": mem.alloc(4096 * 4, "dst")}
+
+
+def streaming_body(w, bufs):
+    gid = w.global_thread_idx()
+    addr = w.iadd(w.imul(gid, 4), bufs["src"].base)
+    v = w.ld_global(addr)
+    w.st_global(w.iadd(w.imul(gid, 4), bufs["dst"].base), v)
+
+
+class TestReplayBasics:
+    def test_all_instructions_replayed(self):
+        func, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        assert replay.timing.instructions == func.trace.dynamic_instructions
+
+    def test_cycles_positive_and_bounded(self):
+        _, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        assert 0 < replay.timing.cycles < 10_000_000
+
+    def test_used_sms_matches_blocks(self):
+        _, replay, _ = simulate(streaming_body, n_blocks=3,
+                                setup=streaming_setup)
+        assert replay.timing.used_sms == 3
+
+    def test_coalesced_load_one_line_per_warp(self):
+        _, replay, _ = simulate(streaming_body, n_blocks=1,
+                                warps_per_block=4, setup=streaming_setup)
+        # 4 warps x 1 coalesced load line + 4 store-invalidate probes.
+        assert replay.timing.l1d_accesses == 8
+
+    def test_repeated_loads_hit(self):
+        def body(w, bufs):
+            addr = w.iadd(w.imul(w.global_thread_idx(), 4),
+                          bufs["src"].base)
+            for _ in range(4):
+                w.ld_global(addr)
+        _, replay, _ = simulate(body, setup=streaming_setup)
+        assert replay.timing.l1d_hit_rate >= 0.7
+
+    def test_footprints_recorded(self):
+        _, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        assert 0 < replay.footprints[Unit.REG] <= 1.0
+        assert 0 < replay.footprints[Unit.L2] <= 1.0
+
+    def test_dram_touched_on_cold_misses(self):
+        _, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        assert replay.dram_accesses > 0
+
+    def test_stores_update_replay_image(self):
+        """Replay applies stores in scheduler order; loads observe them."""
+        def body(w, bufs):
+            gid = w.global_thread_idx()
+            addr = w.iadd(w.imul(gid, 4), bufs["dst"].base)
+            w.st_global(addr, w.iadd(gid, 100))
+            v = w.ld_global(addr)
+        func, replay, _ = simulate(body, setup=streaming_setup)
+        # The loaded line content after the store must include stored
+        # bits; verify the L1D tally saw nonzero ones from 100+gid.
+        counts = replay.tally.get(Unit.L1D, "base")
+        assert counts.read1 > 0
+
+
+class TestReplayTallies:
+    def test_instruction_units_tallied(self):
+        _, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        for unit in (Unit.L1I, Unit.IFB):
+            counts = replay.tally.get(unit, "base")
+            assert counts.total_bits > 0
+
+    def test_isa_variant_only_affects_instruction_units(self):
+        _, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        l1d_base = replay.tally.get(Unit.L1D, "base")
+        l1d_isa = replay.tally.get(Unit.L1D, "ISA")
+        assert l1d_base.read1 == l1d_isa.read1
+        ifb_base = replay.tally.get(Unit.IFB, "base")
+        ifb_isa = replay.tally.get(Unit.IFB, "ISA")
+        assert ifb_base.total_bits == ifb_isa.total_bits
+
+    def test_l2_sees_line_granularity(self):
+        _, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        counts = replay.tally.get(Unit.L2, "base")
+        assert counts.total_bits % 1024 == 0   # multiples of 128B lines
+
+    def test_noc_flits_emitted(self):
+        _, replay, _ = simulate(streaming_body, setup=streaming_setup)
+        assert replay.noc.stats.flits > 0
+        assert replay.noc.control_flits > 0
+
+
+class TestSchedulerEffects:
+    def _run(self, scheduler):
+        config = BASELINE_CONFIG.with_scheduler(scheduler)
+        def body(w, bufs):
+            gid = w.global_thread_idx()
+            for i in range(4):
+                addr = w.iadd(w.imul(gid, 4),
+                              bufs["src"].base + i * 512)
+                w.ld_global(addr)
+        return simulate(body, n_blocks=1, warps_per_block=8,
+                        config=config, setup=streaming_setup)[1]
+
+    def test_all_schedulers_complete(self):
+        counts = {s: self._run(s).timing.instructions
+                  for s in ("gto", "lrr", "two_level")}
+        assert len(set(counts.values())) == 1   # same work either way
+
+    def test_schedulers_change_interleaving(self):
+        gto = self._run("gto")
+        lrr = self._run("lrr")
+        # Different issue orders leave different cycle counts or NoC
+        # toggle patterns.
+        assert (gto.timing.cycles != lrr.timing.cycles
+                or gto.noc.toggles["base"] != lrr.noc.toggles["base"])
+
+
+class TestBarrierReplay:
+    def test_barrier_app_completes(self):
+        def body(w):
+            off = w.imul(w.thread_idx(), 4)
+            w.st_shared(off, w.thread_idx())
+            yield w.barrier()
+            w.ld_shared(off)
+        mem = GlobalMemory(size_bytes=1 << 20)
+        enc = Encoders(isa_mask=0)
+        func = run_functional(
+            "t", mem, [Launch("k", body, 2, 4, shared_bytes=4 * 128)], enc)
+        replay = GPUReplay(BASELINE_CONFIG, enc).run(func.trace)
+        assert replay.timing.instructions == func.trace.dynamic_instructions
+
+
+class TestCapacitySensitivity:
+    def test_bigger_l1_hits_more(self):
+        import dataclasses
+        small = dataclasses.replace(BASELINE_CONFIG, l1d_kb=2)
+        big = dataclasses.replace(BASELINE_CONFIG, l1d_kb=64)
+
+        def body(w, bufs):
+            gid = w.global_thread_idx()
+            for i in range(6):
+                # Strided re-walk: thrashes a tiny L1, fits a big one.
+                addr = w.iadd(w.imul(gid, 128), bufs["src"].base)
+                w.ld_global(w.iadd(addr, (i % 3) * 32))
+        small_res = simulate(body, config=small, setup=streaming_setup)[1]
+        big_res = simulate(body, config=big, setup=streaming_setup)[1]
+        assert big_res.timing.l1d_hit_rate >= small_res.timing.l1d_hit_rate
