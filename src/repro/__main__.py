@@ -6,20 +6,39 @@ Usage::
     python -m repro run fig18               # one experiment, full suite
     python -m repro run fig18 --apps ATA,BLA,VEC
     python -m repro run all                 # the whole evaluation section
+    python -m repro run all --checkpoint ck.json   # resumable sweep
+    python -m repro run all --resume ck.json       # pick up where it died
     python -m repro app ATA                 # quick single-app study
+
+Exit codes: 0 success, 2 usage error (unknown experiment/app, missing
+resume file), 3 sweep completed but some units failed.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 
 
 def _resolve_apps(spec):
+    """Parse a comma-separated app spec; exit 2 with suggestions if bad."""
     if not spec:
         return None
-    from .kernels import get_app
-    return [get_app(name.strip()) for name in spec.split(",")]
+    from .kernels import all_apps, get_app
+    known = [app.name for app in all_apps()]
+    resolved = []
+    for name in (n.strip() for n in spec.split(",")):
+        if not name:
+            continue
+        try:
+            resolved.append(get_app(name))
+        except KeyError:
+            close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+            hint = f"; did you mean {', '.join(close)}?" if close else ""
+            print(f"unknown app {name!r}{hint}", file=sys.stderr)
+            raise SystemExit(2)
+    return resolved
 
 
 def cmd_list(_args) -> int:
@@ -34,21 +53,51 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _run_resilient(args, experiments, apps) -> int:
+    from .runner import SweepRunner
+    try:
+        runner = SweepRunner(
+            experiments=experiments,
+            apps=apps,
+            checkpoint_path=args.resume or args.checkpoint,
+            resume=bool(args.resume),
+            max_attempts=args.max_attempts,
+            backoff_s=args.retry_backoff,
+            timeout_s=args.timeout,
+        )
+    except FileNotFoundError:
+        print(f"resume checkpoint not found: {args.resume!r}",
+              file=sys.stderr)
+        return 2
+    results = runner.run()
+    for result in results:
+        print(result.to_text())
+        print()
+    print(runner.report_line())
+    if runner.failed_units:
+        for key in runner.failed_units:
+            print(f"  failed unit: {key}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def cmd_run(args) -> int:
-    from .experiments import EXPERIMENTS, run_all, run_experiment
+    from .experiments import EXPERIMENTS, accepts_apps, run_experiment
     apps = _resolve_apps(args.apps)
-    if args.experiment == "all":
-        for result in run_all(apps=apps):
-            print(result.to_text())
-            print()
-        return 0
-    if args.experiment not in EXPERIMENTS:
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; "
               f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    try:
+
+    resilient = bool(args.checkpoint or args.resume)
+    if args.experiment == "all" or resilient:
+        experiments = None if args.experiment == "all" else [args.experiment]
+        return _run_resilient(args, experiments, apps)
+
+    driver = EXPERIMENTS[args.experiment]
+    if accepts_apps(driver):
         result = run_experiment(args.experiment, apps=apps)
-    except TypeError:
+    else:
         result = run_experiment(args.experiment)
     print(result.to_text())
     return 0
@@ -81,6 +130,20 @@ def main(argv=None) -> int:
     run_p.add_argument("experiment")
     run_p.add_argument("--apps", default="",
                        help="comma-separated app subset (default: all 58)")
+    run_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="record per-unit progress to this JSON file")
+    run_p.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume from an existing checkpoint, skipping "
+                            "completed units")
+    run_p.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per unit before recording a failure "
+                            "(default: 3)")
+    run_p.add_argument("--retry-backoff", type=float, default=0.5,
+                       help="base retry backoff in seconds, doubled per "
+                            "retry (default: 0.5)")
+    run_p.add_argument("--timeout", type=float, default=None,
+                       help="soft per-attempt time limit in seconds "
+                            "(default: none)")
 
     app_p = sub.add_parser("app", help="single-app energy study")
     app_p.add_argument("name")

@@ -41,7 +41,7 @@ class Cache:
     """Tag-store-only set-associative cache with true-LRU replacement."""
 
     def __init__(self, name: str, size_kb: int, line_bytes: int,
-                 assoc: int):
+                 assoc: int, on_fill=None):
         size_bytes = size_kb << 10
         if size_bytes % (line_bytes * assoc):
             raise ValueError(
@@ -52,6 +52,10 @@ class Cache:
         self.line_bytes = line_bytes
         self.assoc = assoc
         self.n_sets = size_bytes // (line_bytes * assoc)
+        #: optional ``callback(cache_name, line_addr)`` invoked on every
+        #: fill — the fault-injection layer counts fills as read-disturb
+        #: exposure events.
+        self.on_fill = on_fill
         self.stats = CacheStats()
         # sets[set_index] maps line_address -> lru timestamp; dirty flags
         # are tracked separately (L2 write-back).
@@ -93,6 +97,8 @@ class Cache:
         lines[line_addr] = self._tick
         if dirty:
             self._dirty.add(line_addr)
+        if self.on_fill is not None:
+            self.on_fill(self.name, line_addr)
         return victim_writeback
 
     def invalidate(self, line_addr: int) -> bool:

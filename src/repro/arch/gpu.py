@@ -153,9 +153,13 @@ class _SM:
 class GPUReplay:
     """Replays an :class:`~repro.arch.trace.AppTrace` on a GPU config."""
 
-    def __init__(self, config: GPUConfig, encoders: Encoders):
+    def __init__(self, config: GPUConfig, encoders: Encoders,
+                 fault_model=None):
         self.config = config
         self.encoders = encoders
+        #: optional :class:`repro.faults.FaultModel` injected into the
+        #: memory image's line reads, L2 fills and the NoC flit path.
+        self.fault_model = fault_model
         self._inst_bits: Dict[int, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
@@ -181,8 +185,10 @@ class GPUReplay:
                       total - ones * count, ones * count)
 
     def _line_words(self, mem: GlobalMemory, line_addr: int) -> np.ndarray:
-        raw = mem.image[line_addr:line_addr + self.config.l1_line_bytes]
-        return np.ascontiguousarray(raw).view(np.uint32)
+        # Through mem.read_line so an attached fault model sees (and,
+        # for destructive modes, damages) every line-granularity read.
+        raw = mem.read_line(line_addr, self.config.l1_line_bytes)
+        return raw.view(np.uint32)
 
     def _tally_line(self, tally: Tally, unit: Unit, line_words: np.ndarray,
                     is_store: bool, subset: Optional[np.ndarray] = None) -> None:
@@ -367,11 +373,15 @@ class GPUReplay:
         cfg = self.config
         mem = GlobalMemory(size_bytes=app.initial_image.size)
         mem.restore(app.initial_image)
+        mem.fault_model = self.fault_model
         tally = Tally()
-        noc = Crossbar(cfg.n_sms, cfg.l2_banks, cfg.noc_flit_bytes)
+        noc = Crossbar(cfg.n_sms, cfg.l2_banks, cfg.noc_flit_bytes,
+                       fault_model=self.fault_model)
+        on_fill = (self.fault_model.note_fill
+                   if self.fault_model is not None else None)
         l2_banks = [
             Cache(f"l2.bank{i}", cfg.l2_kb_per_bank, cfg.l2_line_bytes,
-                  cfg.l2_assoc)
+                  cfg.l2_assoc, on_fill=on_fill)
             for i in range(cfg.l2_banks)
         ]
         dram = DRAMSystem(cfg.n_mem_channels, cfg.lat_dram,

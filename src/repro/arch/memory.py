@@ -46,6 +46,9 @@ class GlobalMemory:
         self.image = np.zeros(size_bytes, dtype=np.uint8)
         self._next = align  # keep address 0 unmapped to catch bugs
         self.buffers = {}
+        #: optional :class:`repro.faults.FaultModel` applied to line
+        #: reads (cache fills); None means a fault-free array.
+        self.fault_model = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -115,10 +118,23 @@ class GlobalMemory:
 
     def read_line(self, line_address: int,
                   line_bytes: int = LINE_BYTES) -> np.ndarray:
+        """Read one cache line, through the fault model when attached.
+
+        Destructive fault modes (6T-BVF read disturbance, Section 7.1)
+        write the corrupted line back into the image: the flipped cells
+        have genuinely lost their contents, so every later reader of the
+        line observes the accumulated damage.
+        """
         if line_address % line_bytes:
             raise ValueError("line address must be line-aligned")
         self._check(np.asarray([line_address]), line_bytes)
-        return self.image[line_address:line_address + line_bytes].copy()
+        line = self.image[line_address:line_address + line_bytes].copy()
+        fm = self.fault_model
+        if fm is not None:
+            line = fm.corrupt_line(line, address=line_address)
+            if fm.persistent:
+                self.image[line_address:line_address + line_bytes] = line
+        return line
 
     def snapshot(self) -> np.ndarray:
         """Copy of the image, used to reset state for the replay phase."""

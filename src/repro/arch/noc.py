@@ -29,7 +29,8 @@ __all__ = ["Crossbar"]
 class Crossbar:
     """Packet interface over :class:`~repro.arch.stats.NoCStats`."""
 
-    def __init__(self, n_sms: int, n_banks: int, flit_bytes: int):
+    def __init__(self, n_sms: int, n_banks: int, flit_bytes: int,
+                 fault_model=None):
         if n_sms < 1 or n_banks < 1:
             raise ValueError("crossbar dimensions must be positive")
         self.n_sms = n_sms
@@ -37,6 +38,10 @@ class Crossbar:
         self.stats = NoCStats(flit_bytes)
         self.packets = 0
         self.control_flits = 0
+        #: optional :class:`repro.faults.FaultModel`; data flits pick up
+        #: transient upsets on the wires (the same physical flip mask is
+        #: applied to every variant's payload).
+        self.fault_model = fault_model
 
     def bank_of(self, line_addr: int, line_bytes: int) -> int:
         """Address-interleaved L2 bank selection."""
@@ -51,6 +56,9 @@ class Crossbar:
                       payload_variants: Dict[str, np.ndarray]) -> None:
         """Data response, bank -> SM."""
         self.packets += 1
+        if self.fault_model is not None:
+            payload_variants = self.fault_model.corrupt_payloads(
+                payload_variants)
         self.stats.send(("resp", sm), payload_variants)
 
     def send_write(self, sm: int, bank: int, line_addr: int,
@@ -58,6 +66,9 @@ class Crossbar:
         """Store packet: control-network header + data flits, SM -> bank."""
         self.packets += 1
         self.control_flits += 1
+        if self.fault_model is not None:
+            payload_variants = self.fault_model.corrupt_payloads(
+                payload_variants)
         self.stats.send(("req", bank), payload_variants)
 
     @property

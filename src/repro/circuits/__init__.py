@@ -34,6 +34,7 @@ from .reliability import (
     read_disturbance,
     max_safe_cells_per_bitline,
     sweep_cells_per_bitline,
+    flip_probability,
 )
 
 __all__ = [
@@ -44,5 +45,5 @@ __all__ = [
     "GainCellEDRAM", "CELL_TYPES",
     "ArrayGeometry", "EnergyTable", "SRAMArray", "energy_table",
     "ReadDisturbance", "read_disturbance", "max_safe_cells_per_bitline",
-    "sweep_cells_per_bitline",
+    "sweep_cells_per_bitline", "flip_probability",
 ]

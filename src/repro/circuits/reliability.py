@@ -17,6 +17,7 @@ threshold.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -24,7 +25,7 @@ from .bitcell import SRAM6TBVF
 from .technology import TechnologyNode, TECH_28NM
 
 __all__ = ["ReadDisturbance", "read_disturbance", "max_safe_cells_per_bitline",
-           "sweep_cells_per_bitline"]
+           "sweep_cells_per_bitline", "flip_probability"]
 
 # Effective storage-node capacitance in transistor-width units: the
 # physical node (two gates + two drains of the cross-coupled inverters)
@@ -111,3 +112,29 @@ def sweep_cells_per_bitline(values, tech: TechnologyNode = TECH_28NM,
                             vdd: float = None) -> List[ReadDisturbance]:
     """Disturbance evaluation over a sweep of bitline loadings."""
     return [read_disturbance(v, tech, vdd) for v in values]
+
+
+# Relative spread of the per-cell SNM (sigma as a fraction of the
+# nominal SNM). The deterministic margin above is the population mean;
+# local Vth variation spreads individual cells around it, so the flip
+# rate past the cliff rises as the tail of that distribution is
+# overdriven rather than as a step function.
+_SNM_SIGMA_FRACTION = 0.25
+
+
+def flip_probability(cells_per_bitline: int,
+                     tech: TechnologyNode = TECH_28NM,
+                     vdd: float = None) -> float:
+    """Per-bit probability that reading a stored 0 flips the cell.
+
+    Zero while the mean disturbance stays inside the SNM (the paper's
+    safe region, <= 16 cells/bitline at 28 nm); past the cliff it is the
+    fraction of the cell population whose individual margin is exceeded,
+    modelled as a Gaussian tail over the SNM spread. This is the
+    probability :class:`repro.faults.FaultModel` injects at.
+    """
+    d = read_disturbance(cells_per_bitline, tech, vdd)
+    if d.margin_v >= 0.0:
+        return 0.0
+    overdrive = -d.margin_v / d.snm_v
+    return float(math.erf(overdrive / (_SNM_SIGMA_FRACTION * math.sqrt(2.0))))

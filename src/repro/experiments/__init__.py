@@ -1,7 +1,8 @@
 """Per-table/figure experiment drivers regenerating the paper's results."""
 
 from .base import ExperimentResult, format_table, default_apps
-from .registry import EXPERIMENTS, run_experiment, run_all
+from .registry import EXPERIMENTS, accepts_apps, run_experiment, run_all
+from .fault_experiments import sec7_1_fault_injection
 from .circuit_experiments import (fig01_power_efficiency,
                                   fig05_06_access_energy, leakage_asymmetry,
                                   discussion_6t_reliability,
@@ -18,7 +19,8 @@ from .ablation_experiments import (ablation_bus_invert, ablation_isa_mask,
 
 __all__ = [
     "ExperimentResult", "format_table", "default_apps",
-    "EXPERIMENTS", "run_experiment", "run_all",
+    "EXPERIMENTS", "accepts_apps", "run_experiment", "run_all",
+    "sec7_1_fault_injection",
     "fig01_power_efficiency", "fig05_06_access_energy",
     "leakage_asymmetry", "discussion_6t_reliability", "discussion_edram",
     "fig08_narrow_value", "fig09_bit_ratio", "fig11_lane_hamming",

@@ -11,7 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 __all__ = ["ExperimentResult", "format_table", "default_apps"]
+
+
+def _plain(value):
+    """Coerce a cell value to something the json module can encode."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, np.bool_)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -51,6 +64,30 @@ class ExperimentResult:
         if self.notes:
             parts.append(self.notes)
         return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload (numpy scalars coerced) for checkpointing."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": [str(h) for h in self.headers],
+            "rows": [[_plain(c) for c in row] for row in self.rows],
+            "paper_expectation": self.paper_expectation,
+            "notes": self.notes,
+            "summary": {str(k): float(v) for k, v in self.summary.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        return cls(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            paper_expectation=payload.get("paper_expectation", ""),
+            notes=payload.get("notes", ""),
+            summary=dict(payload.get("summary", {})),
+        )
 
 
 def default_apps(apps: Optional[Sequence] = None) -> list:

@@ -6,12 +6,14 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, List, Optional
 
 from .base import ExperimentResult
 from .circuit_experiments import (discussion_6t_reliability,
                                   discussion_edram, fig01_power_efficiency,
                                   fig05_06_access_energy, leakage_asymmetry)
+from .fault_experiments import sec7_1_fault_injection
 from .energy_experiments import (fig16_17_component_energy,
                                  fig18_19_chip_energy, fig20_dvfs,
                                  fig21_schedulers, fig22_capacity,
@@ -22,7 +24,7 @@ from .profiling_experiments import (fig08_narrow_value, fig09_bit_ratio,
 from .ablation_experiments import (ablation_bus_invert, ablation_isa_mask,
                                    ablation_pivot_lane)
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "accepts_apps"]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig01": fig01_power_efficiency,
@@ -45,11 +47,31 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig23": fig23_6t_vs_8t,
     "sec6.3": lambda **kw: overhead_table(),
     "sec7.1": lambda **kw: discussion_6t_reliability(),
+    "sec7.1-inject": sec7_1_fault_injection,
     "sec7.2": lambda **kw: discussion_edram(),
     "ablation-isa": ablation_isa_mask,
     "ablation-pivot": ablation_pivot_lane,
     "ablation-businvert": ablation_bus_invert,
 }
+
+
+def accepts_apps(driver: Callable) -> bool:
+    """True if the driver declares an explicit ``apps`` parameter.
+
+    Decided from the signature — not by calling and catching
+    ``TypeError``, which would swallow genuine ``TypeError``s raised
+    *inside* the driver. ``**kwargs`` catch-alls (registry lambdas that
+    ignore the app list) do not count: decomposing them per app would
+    re-run the full driver once per application.
+    """
+    try:
+        sig = inspect.signature(driver)
+    except (TypeError, ValueError):
+        return False
+    param = sig.parameters.get("apps")
+    return param is not None and param.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY
+    )
 
 
 def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
@@ -64,11 +86,15 @@ def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
 
 
 def run_all(apps: Optional[list] = None) -> List[ExperimentResult]:
-    """Regenerate every table and figure, in paper order."""
+    """Regenerate every table and figure, in paper order.
+
+    For fault tolerance, checkpointing and resume over this sweep, use
+    :class:`repro.runner.SweepRunner` (the ``run all`` CLI path).
+    """
     results = []
     for exp_id, driver in EXPERIMENTS.items():
-        try:
+        if accepts_apps(driver):
             results.append(driver(apps=apps))
-        except TypeError:
+        else:
             results.append(driver())
     return results

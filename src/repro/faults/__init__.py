@@ -1,0 +1,5 @@
+"""Deterministic fault injection (Section 7.1's destructive reads)."""
+
+from .model import FaultModel, MODES, READ_DISTURB, STUCK_AT, UNIFORM
+
+__all__ = ["FaultModel", "MODES", "READ_DISTURB", "STUCK_AT", "UNIFORM"]

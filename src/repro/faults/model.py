@@ -1,0 +1,192 @@
+"""Deterministic bit-fault injection for the simulated storage hierarchy.
+
+Section 7.1 shows why BVF cannot simply be retrofitted onto 6T arrays:
+with the BVF precharge, reading a stored 0 becomes *destructive* once a
+bitline is shared by more than 16 cells at 28 nm. The circuit model
+(:mod:`repro.circuits.reliability`) predicts that threshold
+analytically; this module turns the prediction into actual injected bit
+errors so the architecture simulation can measure how the encoding
+gains and chip energy behave past the cliff.
+
+A :class:`FaultModel` is seeded and fully deterministic: given the same
+seed and the same (deterministic) sequence of array reads, it injects
+the same flips. Three modes are supported:
+
+* ``read-disturb`` — the Section-7.1 mechanism: each stored 0 bit
+  flips to 1 with the configured probability *when the line is read*,
+  and the flip is persistent (the cell content is destroyed, so the
+  corrupted value is written back into the memory image);
+* ``uniform`` — transient symmetric soft errors: any bit of a read
+  flips with the configured probability, storage is unharmed;
+* ``stuck-at`` — manufacturing faults: a per-line, address-determined
+  subset of bit positions always reads as ``stuck_value``.
+
+On the NoC flit path faults are transient and symmetric (wires do not
+store state), and the same physical flip mask is applied to every coder
+variant's payload so the per-variant toggle statistics stay comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.technology import TechnologyNode, TECH_28NM
+
+__all__ = ["FaultModel", "READ_DISTURB", "UNIFORM", "STUCK_AT", "MODES"]
+
+READ_DISTURB = "read-disturb"
+UNIFORM = "uniform"
+STUCK_AT = "stuck-at"
+MODES = (READ_DISTURB, UNIFORM, STUCK_AT)
+
+
+class FaultModel:
+    """Seeded injector of bit faults into array reads and NoC flits."""
+
+    def __init__(self, mode: str = READ_DISTURB, p_flip: float = 0.0,
+                 seed: int = 0, stuck_value: int = 1):
+        if mode not in MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; known: {MODES}")
+        if not 0.0 <= p_flip <= 1.0:
+            raise ValueError(f"p_flip must be in [0, 1], got {p_flip}")
+        if stuck_value not in (0, 1):
+            raise ValueError("stuck_value must be 0 or 1")
+        self.mode = mode
+        self.p_flip = float(p_flip)
+        self.seed = int(seed)
+        self.stuck_value = int(stuck_value)
+        self._rng = np.random.default_rng(seed)
+        self._stuck_masks: Dict[tuple, np.ndarray] = {}
+        # Exposure and flip counters, arrays and NoC kept apart so the
+        # Section-7.1 read-flip rate is not diluted by channel traffic.
+        self.array_bits = 0
+        self.array_flips = 0
+        self.noc_bits = 0
+        self.noc_flips = 0
+        self.line_fills: Dict[str, int] = {}
+
+    @classmethod
+    def from_reliability(cls, cells_per_bitline: int,
+                         tech: TechnologyNode = TECH_28NM,
+                         vdd: Optional[float] = None,
+                         seed: int = 0) -> "FaultModel":
+        """Read-disturb model at the rate §7.1's physics implies."""
+        from ..circuits.reliability import flip_probability
+        p = flip_probability(cells_per_bitline, tech, vdd)
+        return cls(mode=READ_DISTURB, p_flip=p, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+
+    @property
+    def persistent(self) -> bool:
+        """Destructive faults corrupt the stored value, not just the read."""
+        return self.mode == READ_DISTURB
+
+    def _chosen(self, n_candidates: int) -> Optional[np.ndarray]:
+        """Indices (into the candidate set) of the bits that flip."""
+        if n_candidates == 0 or self.p_flip == 0.0:
+            return None
+        k = int(self._rng.binomial(n_candidates, self.p_flip))
+        if k == 0:
+            return None
+        return self._rng.choice(n_candidates, size=k, replace=False)
+
+    def _stuck_mask(self, address: int, n_bits: int) -> np.ndarray:
+        key = (address, n_bits)
+        mask = self._stuck_masks.get(key)
+        if mask is None:
+            # Location-bound: the stuck positions depend only on the
+            # address, never on read order, so repeated reads agree.
+            rng = np.random.default_rng((self.seed, address))
+            mask = rng.random(n_bits) < self.p_flip
+            self._stuck_masks[key] = mask
+        return mask
+
+    def corrupt_line(self, line: np.ndarray, address: int = 0) -> np.ndarray:
+        """Corrupt one array-read payload (uint8 bytes); returns a copy."""
+        data = np.ascontiguousarray(line, dtype=np.uint8)
+        bits = np.unpackbits(data)
+        self.array_bits += bits.size
+        flipped = 0
+        if self.mode == READ_DISTURB:
+            zeros = np.flatnonzero(bits == 0)
+            chosen = self._chosen(zeros.size)
+            if chosen is not None:
+                bits[zeros[chosen]] = 1
+                flipped = chosen.size
+        elif self.mode == UNIFORM:
+            chosen = self._chosen(bits.size)
+            if chosen is not None:
+                bits[chosen] ^= 1
+                flipped = chosen.size
+        else:  # STUCK_AT
+            mask = self._stuck_mask(address, bits.size)
+            flipped = int(np.count_nonzero(bits[mask] != self.stuck_value))
+            bits[mask] = self.stuck_value
+        self.array_flips += flipped
+        if flipped == 0:
+            return data.copy()
+        return np.packbits(bits)
+
+    def corrupt_words(self, words: np.ndarray, address: int = 0) -> np.ndarray:
+        """Corrupt a typed word array (dtype- and shape-preserving)."""
+        arr = np.ascontiguousarray(np.atleast_1d(words)).copy()
+        raw = self.corrupt_line(arr.view(np.uint8).ravel(), address)
+        return raw.view(arr.dtype).reshape(arr.shape)
+
+    def corrupt_payloads(self, payload_variants: Dict[str, np.ndarray]
+                         ) -> Dict[str, np.ndarray]:
+        """Transient channel faults on a NoC packet.
+
+        One physical flip mask is drawn for the channel and XORed into
+        every variant's payload: the variants are alternative encodings
+        travelling the same wires, so they must see the same upsets.
+        """
+        nbytes = max(p.size for p in payload_variants.values())
+        n_bits = nbytes * 8
+        self.noc_bits += n_bits
+        chosen = self._chosen(n_bits)
+        if chosen is None:
+            return payload_variants
+        mask_bits = np.zeros(n_bits, dtype=np.uint8)
+        mask_bits[chosen] = 1
+        mask = np.packbits(mask_bits)
+        self.noc_flips += chosen.size
+        return {
+            variant: (np.ascontiguousarray(payload, dtype=np.uint8)
+                      ^ mask[:payload.size])
+            for variant, payload in payload_variants.items()
+        }
+
+    def note_fill(self, cache_name: str, line_addr: int) -> None:
+        """Record a line fill (a disturb-exposure event) per cache."""
+        self.line_fills[cache_name] = self.line_fills.get(cache_name, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def array_flip_rate(self) -> float:
+        """Injected flips per array bit read — the §7.1 metric."""
+        return self.array_flips / self.array_bits if self.array_bits else 0.0
+
+    @property
+    def noc_flip_rate(self) -> float:
+        return self.noc_flips / self.noc_bits if self.noc_bits else 0.0
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "p_flip": self.p_flip,
+            "array_bits": float(self.array_bits),
+            "array_flips": float(self.array_flips),
+            "array_flip_rate": self.array_flip_rate,
+            "noc_bits": float(self.noc_bits),
+            "noc_flips": float(self.noc_flips),
+            "noc_flip_rate": self.noc_flip_rate,
+            "line_fills": float(sum(self.line_fills.values())),
+        }

@@ -1,0 +1,11 @@
+"""Resilient sweep engine: checkpoint/resume, retry, soft timeouts."""
+
+from .checkpoint import CHECKPOINT_VERSION, Checkpoint, unit_key
+from .sweep import (SweepRunner, SweepStats, UnitTimeout, error_report,
+                    soft_time_limit)
+
+__all__ = [
+    "CHECKPOINT_VERSION", "Checkpoint", "unit_key",
+    "SweepRunner", "SweepStats", "UnitTimeout", "error_report",
+    "soft_time_limit",
+]

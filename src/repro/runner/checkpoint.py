@@ -1,0 +1,87 @@
+"""JSON checkpoint store for the resilient sweep runner.
+
+One checkpoint file records the outcome of every completed unit of
+work — a ``(experiment, app)`` pair, or a whole experiment for drivers
+that can't be decomposed per app. Saves are atomic (write to a
+temp file in the same directory, then ``os.replace``) so a kill at any
+point leaves either the previous checkpoint or the new one, never a
+torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+__all__ = ["Checkpoint", "unit_key", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def unit_key(exp_id: str, app_name: Optional[str] = None) -> str:
+    """Stable key for one unit of work; ``*`` marks a whole-experiment unit."""
+    return f"{exp_id}::{app_name or '*'}"
+
+
+class Checkpoint:
+    """Persistent map from unit key to its outcome record.
+
+    A record is a plain dict::
+
+        {"status": "ok"|"failed", "attempts": int, "wall_s": float,
+         "payload": <ExperimentResult.to_dict()> | None,
+         "error": {"type", "message", "traceback_tail"} | None}
+
+    With ``path=None`` the checkpoint lives in memory only (saves are
+    no-ops) — the runner always goes through one, checkpointing or not.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 meta: Optional[dict] = None) -> None:
+        self.path = path
+        self.meta = dict(meta or {})
+        self.records: Dict[str, dict] = {}
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint {path!r} has version {version!r}, "
+                f"expected {CHECKPOINT_VERSION}")
+        ckpt = cls(path=path, meta=data.get("meta", {}))
+        ckpt.records = dict(data.get("records", {}))
+        return ckpt
+
+    def get(self, key: str) -> Optional[dict]:
+        return self.records.get(key)
+
+    def record(self, key: str, rec: dict) -> None:
+        self.records[key] = rec
+        self.save()
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        data = {
+            "version": CHECKPOINT_VERSION,
+            "meta": self.meta,
+            "records": self.records,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, indent=1)
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,301 @@
+"""Fault-tolerant sweep engine for the experiment suite.
+
+Wraps every unit of work — an ``(experiment, app)`` pair when the
+driver accepts an app list, the whole experiment otherwise — with:
+
+* exception isolation (one crashing app can't abort the sweep),
+* a configurable soft timeout per attempt (SIGALRM-based),
+* bounded retry with exponential backoff, and
+* a JSON checkpoint so a killed ``run all`` resumes where it stopped.
+
+Failed units end up as structured error reports in the merged
+:class:`~repro.experiments.base.ExperimentResult` (exception type,
+message, traceback tail, attempt count, wall time) rather than as a
+dead process.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.base import ExperimentResult
+from ..experiments.registry import EXPERIMENTS, accepts_apps
+from .checkpoint import Checkpoint, unit_key
+
+__all__ = ["SweepRunner", "SweepStats", "UnitTimeout", "soft_time_limit",
+           "error_report"]
+
+_TRACEBACK_TAIL_LINES = 8
+
+
+class UnitTimeout(Exception):
+    """One unit of work exceeded the per-attempt soft time limit."""
+
+
+@contextmanager
+def soft_time_limit(seconds: Optional[float]):
+    """Raise :class:`UnitTimeout` in the block after ``seconds``.
+
+    Uses ``SIGALRM``, so it only arms on the main thread of the main
+    interpreter (and on platforms that have the signal); elsewhere it
+    degrades to a no-op rather than failing — a soft limit, not a hard
+    guarantee.
+    """
+    usable = (seconds is not None and seconds > 0
+              and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise UnitTimeout(f"unit exceeded soft time limit of {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def error_report(exc: BaseException) -> dict:
+    """Structured, JSON-safe description of an exception."""
+    tb_lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(tb_lines).strip().splitlines()[-_TRACEBACK_TAIL_LINES:]
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback_tail": "\n".join(tail),
+    }
+
+
+@dataclass
+class SweepStats:
+    """Counters for one :meth:`SweepRunner.run` invocation."""
+
+    run: int = 0        # units executed this invocation
+    skipped: int = 0    # units restored from the checkpoint
+    failed: int = 0     # units that exhausted their attempts
+    retried: int = 0    # extra attempts beyond the first, summed
+    sleeps: List[float] = field(default_factory=list)
+
+
+class SweepRunner:
+    """Resilient driver for one or many experiments over an app list.
+
+    Parameters
+    ----------
+    experiments:
+        Experiment ids to run, in order (default: every registered id).
+    apps:
+        App objects to sweep (default: the full suite) for drivers that
+        accept an ``apps`` argument; other drivers run whole.
+    checkpoint_path / resume:
+        Where to persist unit outcomes; with ``resume=True`` the file
+        must already exist and its completed units are skipped.
+    max_attempts / backoff_s / timeout_s:
+        Per-unit retry budget, base backoff (doubles per retry), and
+        per-attempt soft time limit in seconds (None disables it).
+    sleep / on_unit_done:
+        Injection points for tests: the backoff sleeper, and a callback
+        ``(key, record)`` invoked after each unit is checkpointed.
+    """
+
+    def __init__(self,
+                 experiments: Optional[Sequence[str]] = None,
+                 apps: Optional[Sequence] = None,
+                 checkpoint_path: Optional[str] = None,
+                 resume: bool = False,
+                 max_attempts: int = 3,
+                 backoff_s: float = 0.5,
+                 timeout_s: Optional[float] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 on_unit_done: Optional[Callable[[str, dict], None]] = None):
+        self.experiments = list(experiments or EXPERIMENTS)
+        unknown = [e for e in self.experiments if e not in EXPERIMENTS]
+        if unknown:
+            raise KeyError(f"unknown experiments: {unknown}")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        from ..experiments.base import default_apps
+        self.apps = default_apps(apps)
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.timeout_s = timeout_s
+        self.sleep = sleep
+        self.on_unit_done = on_unit_done
+        if resume:
+            if checkpoint_path is None:
+                raise ValueError("resume requires a checkpoint path")
+            self.checkpoint = Checkpoint.load(checkpoint_path)
+        else:
+            self.checkpoint = Checkpoint(
+                path=checkpoint_path,
+                meta={"experiments": self.experiments,
+                      "apps": [app.name for app in self.apps]})
+            self.checkpoint.save()
+        self.stats = SweepStats()
+
+    # -- planning ---------------------------------------------------------
+
+    def plan(self) -> List[Tuple[str, Optional[object]]]:
+        """The ordered unit list: ``(exp_id, app-or-None)`` pairs."""
+        units: List[Tuple[str, Optional[object]]] = []
+        for exp_id in self.experiments:
+            if accepts_apps(EXPERIMENTS[exp_id]):
+                units.extend((exp_id, app) for app in self.apps)
+            else:
+                units.append((exp_id, None))
+        return units
+
+    # -- execution --------------------------------------------------------
+
+    def run(self) -> List[ExperimentResult]:
+        """Execute the sweep; return merged results in experiment order."""
+        for exp_id, app in self.plan():
+            key = unit_key(exp_id, app.name if app is not None else None)
+            existing = self.checkpoint.get(key)
+            if existing is not None and existing["status"] == "ok":
+                self.stats.skipped += 1
+                continue
+            record = self._run_unit(exp_id, app)
+            self.stats.run += 1
+            self.stats.retried += record["attempts"] - 1
+            if record["status"] == "failed":
+                self.stats.failed += 1
+            self.checkpoint.record(key, record)
+            if self.on_unit_done is not None:
+                self.on_unit_done(key, record)
+        return [self._merge(exp_id) for exp_id in self.experiments]
+
+    def _run_unit(self, exp_id: str, app) -> dict:
+        driver = EXPERIMENTS[exp_id]
+        start = time.monotonic()
+        error = None
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                delay = self.backoff_s * 2 ** (attempt - 2)
+                self.stats.sleeps.append(delay)
+                self.sleep(delay)
+            try:
+                with soft_time_limit(self.timeout_s):
+                    if app is not None:
+                        result = driver(apps=[app])
+                    else:
+                        result = driver()
+                return {
+                    "status": "ok",
+                    "attempts": attempt,
+                    "wall_s": round(time.monotonic() - start, 3),
+                    "payload": result.to_dict(),
+                    "error": None,
+                }
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                error = error_report(exc)
+        return {
+            "status": "failed",
+            "attempts": self.max_attempts,
+            "wall_s": round(time.monotonic() - start, 3),
+            "payload": None,
+            "error": error,
+        }
+
+    # -- merging ----------------------------------------------------------
+
+    def _merge(self, exp_id: str) -> ExperimentResult:
+        """Reassemble one experiment's result from its unit records."""
+        if not accepts_apps(EXPERIMENTS[exp_id]):
+            rec = self.checkpoint.get(unit_key(exp_id))
+            if rec is None or rec["status"] != "ok":
+                return self._failure_result(exp_id, {None: rec})
+            return ExperimentResult.from_dict(rec["payload"])
+
+        parts: Dict[str, dict] = {
+            app.name: self.checkpoint.get(unit_key(exp_id, app.name))
+            for app in self.apps
+        }
+        ok = {name: rec for name, rec in parts.items()
+              if rec is not None and rec["status"] == "ok"}
+        if not ok:
+            return self._failure_result(exp_id, parts)
+
+        slices = {name: ExperimentResult.from_dict(rec["payload"])
+                  for name, rec in ok.items()}
+        first = next(iter(slices.values()))
+        headers = ["app"] + list(first.headers)
+        rows = []
+        summary_acc: Dict[str, List[float]] = {}
+        for app in self.apps:
+            part = slices.get(app.name)
+            if part is None:
+                continue
+            for row in part.rows:
+                rows.append([app.name] + list(row))
+            for k, v in part.summary.items():
+                summary_acc.setdefault(k, []).append(float(v))
+        summary = {k: sum(vs) / len(vs) for k, vs in summary_acc.items()}
+        summary["units_ok"] = float(len(ok))
+        summary["units_failed"] = float(len(parts) - len(ok))
+
+        notes = [first.notes] if first.notes else []
+        for name, rec in parts.items():
+            if rec is None or rec["status"] == "ok":
+                continue
+            err = rec["error"] or {}
+            notes.append(
+                f"FAILED {exp_id}::{name}: {err.get('type', '?')}: "
+                f"{err.get('message', '')} (attempts={rec['attempts']}, "
+                f"wall={rec['wall_s']}s)")
+
+        return ExperimentResult(
+            exp_id=exp_id,
+            title=first.title + " [per-app resilient sweep]",
+            headers=headers,
+            rows=rows,
+            paper_expectation=first.paper_expectation,
+            notes="\n".join(notes),
+            summary=summary,
+        )
+
+    def _failure_result(self, exp_id: str, parts: dict) -> ExperimentResult:
+        """Placeholder result when every unit of an experiment failed."""
+        notes = []
+        for name, rec in parts.items():
+            err = (rec or {}).get("error") or {}
+            label = unit_key(exp_id, name)
+            notes.append(
+                f"FAILED {label}: {err.get('type', '?')}: "
+                f"{err.get('message', '')} "
+                f"(attempts={(rec or {}).get('attempts', 0)}, "
+                f"wall={(rec or {}).get('wall_s', 0)}s)")
+        return ExperimentResult(
+            exp_id=exp_id,
+            title=f"{exp_id} FAILED (no unit completed)",
+            headers=["status"],
+            rows=[["failed"]],
+            notes="\n".join(notes),
+            summary={"units_ok": 0.0, "units_failed": float(len(parts))},
+        )
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def failed_units(self) -> List[str]:
+        return [key for key, rec in self.checkpoint.records.items()
+                if rec["status"] == "failed"]
+
+    def report_line(self) -> str:
+        s = self.stats
+        line = (f"sweep: {s.run} run, {s.skipped} resumed, "
+                f"{s.failed} failed, {s.retried} retries")
+        if self.checkpoint.path:
+            line += f" (checkpoint: {self.checkpoint.path})"
+        return line

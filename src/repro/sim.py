@@ -84,12 +84,20 @@ def _functional_pass(app, pivot_lane: int) -> tuple:
 
 def simulate_app(app, config: GPUConfig = BASELINE_CONFIG,
                  isa_mask: Optional[int] = None,
-                 pivot_lane: int = 21) -> AppStats:
+                 pivot_lane: int = 21,
+                 fault_model=None) -> AppStats:
     """Simulate one application end to end.
 
     When ``isa_mask`` is None the mask is derived from the app's own
     static binary (useful standalone; suite sweeps pass the corpus-wide
     mask instead).
+
+    ``fault_model`` (a :class:`repro.faults.FaultModel`) injects bit
+    errors into the replay phase's array reads and NoC flits. Faulted
+    runs bypass the result cache — the model is stateful (its RNG
+    stream and counters advance with every read) — and leave phase 1
+    untouched: the functional execution models the computation, the
+    faults model the storage it is replayed through.
     """
     functional, profiler = _functional_pass(app, pivot_lane)
     if isa_mask is None:
@@ -97,12 +105,14 @@ def simulate_app(app, config: GPUConfig = BASELINE_CONFIG,
         isa_mask = derive_mask(functional.trace.static_binary)
 
     key = (app.name, pivot_lane, isa_mask, config)
-    cached = _STATS_CACHE.get(key)
-    if cached is not None:
-        return cached
+    if fault_model is None:
+        cached = _STATS_CACHE.get(key)
+        if cached is not None:
+            return cached
 
     encoders = Encoders(isa_mask=isa_mask, pivot_lane=pivot_lane)
-    replay = GPUReplay(config, encoders).run(functional.trace)
+    replay = GPUReplay(config, encoders,
+                       fault_model=fault_model).run(functional.trace)
     stats = build_app_stats(
         app.name,
         functional_tally=functional.tally,
@@ -112,7 +122,8 @@ def simulate_app(app, config: GPUConfig = BASELINE_CONFIG,
         static_binary=functional.trace.static_binary,
         freq_mhz=config.freq_mhz,
     )
-    _STATS_CACHE[key] = stats
+    if fault_model is None:
+        _STATS_CACHE[key] = stats
     return stats
 
 

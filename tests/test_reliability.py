@@ -1,0 +1,84 @@
+"""Tests for the Section 7.1 read-stability model (circuits.reliability)."""
+
+import pytest
+
+from repro.circuits import TECH_28NM, TECH_40NM
+from repro.circuits.reliability import (flip_probability,
+                                        max_safe_cells_per_bitline,
+                                        read_disturbance,
+                                        sweep_cells_per_bitline)
+
+
+class TestReadDisturbance:
+    def test_rejects_bad_loading(self):
+        with pytest.raises(ValueError):
+            read_disturbance(0)
+
+    def test_disturbance_grows_with_loading(self):
+        prev = 0.0
+        for cells in (1, 2, 4, 8, 16, 32, 64, 128):
+            d = read_disturbance(cells, TECH_28NM)
+            assert d.disturbance_v > prev
+            prev = d.disturbance_v
+
+    def test_margin_sign_matches_flips(self):
+        for cells in (4, 16, 17, 64):
+            d = read_disturbance(cells, TECH_28NM)
+            assert d.flips == (d.margin_v < 0)
+
+    def test_paper_cliff_at_16_cells(self):
+        assert not read_disturbance(16, TECH_28NM).flips
+        assert read_disturbance(17, TECH_28NM).flips
+
+
+class TestMaxSafeCells:
+    def test_28nm_matches_paper(self):
+        assert max_safe_cells_per_bitline(TECH_28NM) == 16
+
+    def test_agrees_with_pointwise_evaluation(self):
+        safe = max_safe_cells_per_bitline(TECH_28NM)
+        assert not read_disturbance(safe, TECH_28NM).flips
+        assert read_disturbance(safe + 1, TECH_28NM).flips
+
+    def test_lower_vdd_is_no_safer(self):
+        nominal = max_safe_cells_per_bitline(TECH_28NM)
+        lowered = max_safe_cells_per_bitline(
+            TECH_28NM, vdd=TECH_28NM.vdd_nominal * 0.8)
+        assert lowered <= nominal + 1  # SNM and disturbance both scale
+
+
+class TestSweep:
+    def test_matches_pointwise(self):
+        values = (4, 16, 24, 64)
+        sweep = sweep_cells_per_bitline(values, TECH_28NM)
+        assert [d.cells_per_bitline for d in sweep] == list(values)
+        for d in sweep:
+            pointwise = read_disturbance(d.cells_per_bitline, TECH_28NM)
+            assert d.disturbance_v == pointwise.disturbance_v
+
+    def test_monotone_disturbance(self):
+        sweep = sweep_cells_per_bitline(range(1, 65), TECH_28NM)
+        disturb = [d.disturbance_v for d in sweep]
+        assert disturb == sorted(disturb)
+
+
+class TestFlipProbability:
+    def test_zero_through_the_safe_region(self):
+        for cells in range(1, 17):
+            assert flip_probability(cells, TECH_28NM) == 0.0
+
+    def test_positive_past_the_cliff(self):
+        assert flip_probability(17, TECH_28NM) > 0.0
+
+    def test_bounded_and_nondecreasing(self):
+        probs = [flip_probability(c, TECH_28NM) for c in range(1, 129)]
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        assert probs == sorted(probs)
+
+    def test_saturates_at_extreme_loading(self):
+        assert flip_probability(512, TECH_28NM) > 0.99
+
+    def test_40nm_has_its_own_cliff(self):
+        safe = max_safe_cells_per_bitline(TECH_40NM)
+        assert flip_probability(safe, TECH_40NM) == 0.0
+        assert flip_probability(safe + 1, TECH_40NM) > 0.0

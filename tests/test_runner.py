@@ -1,0 +1,309 @@
+"""Tests for the resilient sweep runner, checkpointing, and the CLI."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, accepts_apps
+from repro.experiments.registry import EXPERIMENTS
+from repro.runner import (CHECKPOINT_VERSION, Checkpoint, SweepRunner,
+                          UnitTimeout, error_report, soft_time_limit,
+                          unit_key)
+
+
+class ToyApp:
+    def __init__(self, name):
+        self.name = name
+
+
+APPS = [ToyApp("AAA"), ToyApp("BB")]
+
+
+def toy_perapp(apps=None):
+    app = apps[0]
+    return ExperimentResult(
+        exp_id="toy-perapp", title="toy per-app",
+        headers=["app", "len"], rows=[[app.name, len(app.name)]],
+        summary={"len": float(len(app.name))})
+
+
+def toy_whole():
+    return ExperimentResult(
+        exp_id="toy-whole", title="toy whole",
+        headers=["k"], rows=[["v"]], summary={"k": 1.0})
+
+
+@pytest.fixture
+def toy_registry(monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "toy-perapp", toy_perapp)
+    monkeypatch.setitem(EXPERIMENTS, "toy-whole", toy_whole)
+    yield
+
+
+class TestAcceptsApps:
+    def test_explicit_parameter(self):
+        assert accepts_apps(lambda apps=None: None)
+        assert accepts_apps(toy_perapp)
+
+    def test_keyword_only(self):
+        def driver(*, apps=None):
+            return None
+        assert accepts_apps(driver)
+
+    def test_kwargs_catch_all_does_not_count(self):
+        # Registry lambdas swallow apps via **kw but ignore it;
+        # decomposing them per app would re-run the full driver N times.
+        assert not accepts_apps(lambda **kw: None)
+
+    def test_no_parameters(self):
+        assert not accepts_apps(toy_whole)
+
+    def test_real_registry_split(self):
+        assert accepts_apps(EXPERIMENTS["fig09"])
+        assert not accepts_apps(EXPERIMENTS["fig01"])
+        assert not accepts_apps(EXPERIMENTS["sec7.1"])
+
+
+class TestExperimentResultSerialization:
+    def test_roundtrip_with_numpy_scalars(self):
+        result = ExperimentResult(
+            exp_id="x", title="t", headers=["a", "b"],
+            rows=[[np.int64(3), np.float32(0.5)], ["s", None]],
+            summary={"m": np.float64(1.25)})
+        payload = json.loads(json.dumps(result.to_dict()))
+        back = ExperimentResult.from_dict(payload)
+        assert back.rows == [[3, 0.5], ["s", None]]
+        assert back.summary == {"m": 1.25}
+        assert back.to_text() == ExperimentResult.from_dict(
+            result.to_dict()).to_text()
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        ck = Checkpoint(path=path, meta={"note": "hi"})
+        ck.record("a::b", {"status": "ok", "attempts": 1, "wall_s": 0.1,
+                           "payload": None, "error": None})
+        loaded = Checkpoint.load(path)
+        assert loaded.meta == {"note": "hi"}
+        assert loaded.get("a::b")["status"] == "ok"
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": CHECKPOINT_VERSION + 1,
+                                    "records": {}}))
+        with pytest.raises(ValueError):
+            Checkpoint.load(str(path))
+
+    def test_pathless_checkpoint_is_memory_only(self):
+        ck = Checkpoint()
+        ck.record("k", {"status": "ok"})
+        assert ck.get("k") is not None  # and no file was written
+
+    def test_unit_key(self):
+        assert unit_key("fig18", "ATA") == "fig18::ATA"
+        assert unit_key("fig01") == "fig01::*"
+
+
+class TestSoftTimeLimit:
+    def test_raises_after_deadline(self):
+        with pytest.raises(UnitTimeout):
+            with soft_time_limit(0.05):
+                time.sleep(0.5)
+
+    def test_noop_when_disabled(self):
+        with soft_time_limit(None):
+            pass
+        with soft_time_limit(0):
+            pass
+
+    def test_timer_disarmed_after_block(self):
+        with soft_time_limit(0.05):
+            pass
+        time.sleep(0.08)  # would fire here if left armed
+
+
+class TestErrorReport:
+    def test_fields(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError as exc:
+            report = error_report(exc)
+        assert report["type"] == "RuntimeError"
+        assert report["message"] == "boom"
+        assert "RuntimeError: boom" in report["traceback_tail"]
+
+
+class TestSweepRunner:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            SweepRunner(experiments=["nope"], apps=APPS)
+
+    def test_plan_decomposes_per_app(self, toy_registry):
+        runner = SweepRunner(experiments=["toy-perapp", "toy-whole"],
+                             apps=APPS)
+        plan = runner.plan()
+        assert [(e, a.name if a else None) for e, a in plan] == [
+            ("toy-perapp", "AAA"), ("toy-perapp", "BB"),
+            ("toy-whole", None)]
+
+    def test_merge_prefixes_app_column(self, toy_registry):
+        runner = SweepRunner(experiments=["toy-perapp"], apps=APPS)
+        (merged,) = runner.run()
+        assert merged.headers[0] == "app"
+        assert merged.rows == [["AAA", "AAA", 3], ["BB", "BB", 2]]
+        assert merged.summary["len"] == pytest.approx(2.5)  # mean(3, 2)
+        assert merged.summary["units_ok"] == 2
+        assert merged.summary["units_failed"] == 0
+        assert merged.title.endswith("[per-app resilient sweep]")
+
+    def test_whole_experiment_passes_through(self, toy_registry):
+        runner = SweepRunner(experiments=["toy-whole"], apps=APPS)
+        (result,) = runner.run()
+        assert result.to_text() == toy_whole().to_text()
+
+    def test_resume_skips_completed_units(self, toy_registry, tmp_path):
+        path = str(tmp_path / "ck.json")
+        first = SweepRunner(experiments=["toy-perapp", "toy-whole"],
+                            apps=APPS, checkpoint_path=path)
+        results_a = first.run()
+        assert first.stats.run == 3 and first.stats.skipped == 0
+
+        second = SweepRunner(experiments=["toy-perapp", "toy-whole"],
+                             apps=APPS, checkpoint_path=path, resume=True)
+        results_b = second.run()
+        assert second.stats.run == 0 and second.stats.skipped == 3
+        assert [r.to_text() for r in results_a] == \
+               [r.to_text() for r in results_b]
+
+    def test_kill_then_resume_matches_uninterrupted(self, toy_registry,
+                                                    tmp_path):
+        path = str(tmp_path / "ck.json")
+
+        def die_after_first(key, record):
+            raise KeyboardInterrupt
+
+        killed = SweepRunner(experiments=["toy-perapp", "toy-whole"],
+                             apps=APPS, checkpoint_path=path,
+                             on_unit_done=die_after_first)
+        with pytest.raises(KeyboardInterrupt):
+            killed.run()
+        assert len(Checkpoint.load(path)) == 1  # the finished unit survived
+
+        resumed = SweepRunner(experiments=["toy-perapp", "toy-whole"],
+                              apps=APPS, checkpoint_path=path, resume=True)
+        resumed_results = resumed.run()
+        assert resumed.stats.skipped == 1 and resumed.stats.run == 2
+
+        clean = SweepRunner(experiments=["toy-perapp", "toy-whole"],
+                            apps=APPS).run()
+        assert [r.to_text() for r in resumed_results] == \
+               [r.to_text() for r in clean]
+
+    def test_flaky_unit_retried_with_backoff(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(apps=None):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return toy_perapp(apps=apps)
+
+        monkeypatch.setitem(EXPERIMENTS, "toy-flaky", flaky)
+        slept = []
+        runner = SweepRunner(experiments=["toy-flaky"], apps=[APPS[0]],
+                             max_attempts=3, backoff_s=0.5,
+                             sleep=slept.append)
+        (merged,) = runner.run()
+        rec = runner.checkpoint.get(unit_key("toy-flaky", "AAA"))
+        assert rec["status"] == "ok" and rec["attempts"] == 3
+        assert slept == [0.5, 1.0]  # exponential backoff
+        assert runner.stats.retried == 2
+        assert merged.summary["units_ok"] == 1
+
+    def test_failing_unit_reported_not_fatal(self, toy_registry,
+                                             monkeypatch):
+        def always_fails(apps=None):
+            raise ValueError(f"bad data in {apps[0].name}")
+
+        monkeypatch.setitem(EXPERIMENTS, "toy-bad", always_fails)
+        runner = SweepRunner(experiments=["toy-bad", "toy-whole"],
+                             apps=APPS, max_attempts=2, backoff_s=0.0,
+                             sleep=lambda s: None)
+        results = runner.run()
+        assert len(results) == 2  # the sweep completed anyway
+
+        rec = runner.checkpoint.get(unit_key("toy-bad", "AAA"))
+        assert rec["status"] == "failed" and rec["attempts"] == 2
+        assert rec["error"]["type"] == "ValueError"
+        assert "bad data in AAA" in rec["error"]["message"]
+        assert "ValueError" in rec["error"]["traceback_tail"]
+
+        bad = results[0]
+        assert "FAILED toy-bad::AAA" in bad.notes
+        assert "FAILED toy-bad::BB" in bad.notes
+        assert bad.summary["units_failed"] == 2
+        assert runner.failed_units == ["toy-bad::AAA", "toy-bad::BB"]
+        assert "2 failed" in runner.report_line()
+
+    def test_partial_failure_merges_the_survivors(self, monkeypatch):
+        def picky(apps=None):
+            if apps[0].name == "BB":
+                raise RuntimeError("no BB")
+            return toy_perapp(apps=apps)
+
+        monkeypatch.setitem(EXPERIMENTS, "toy-picky", picky)
+        runner = SweepRunner(experiments=["toy-picky"], apps=APPS,
+                             max_attempts=1)
+        (merged,) = runner.run()
+        assert merged.rows == [["AAA", "AAA", 3]]
+        assert merged.summary["units_ok"] == 1
+        assert merged.summary["units_failed"] == 1
+        assert "FAILED toy-picky::BB" in merged.notes
+
+    def test_timeout_recorded_as_structured_failure(self, monkeypatch):
+        def sleepy(apps=None):
+            time.sleep(0.5)
+            return toy_perapp(apps=apps)
+
+        monkeypatch.setitem(EXPERIMENTS, "toy-sleepy", sleepy)
+        runner = SweepRunner(experiments=["toy-sleepy"], apps=[APPS[0]],
+                             max_attempts=1, timeout_s=0.05)
+        runner.run()
+        rec = runner.checkpoint.get(unit_key("toy-sleepy", "AAA"))
+        assert rec["status"] == "failed"
+        assert rec["error"]["type"] == "UnitTimeout"
+
+
+class TestCLI:
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        from repro.__main__ import main
+        path = str(tmp_path / "ck.json")
+        assert main(["run", "fig01", "--checkpoint", path]) == 0
+        data = json.loads((tmp_path / "ck.json").read_text())
+        assert data["version"] == CHECKPOINT_VERSION
+        assert data["records"]["fig01::*"]["status"] == "ok"
+        assert main(["run", "fig01", "--resume", path]) == 0
+        assert "1 resumed" in capsys.readouterr().out
+
+    def test_missing_resume_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+        missing = str(tmp_path / "nope.json")
+        assert main(["run", "fig01", "--resume", missing]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_experiment(self, capsys):
+        from repro.__main__ import main
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_app_suggests_close_names(self, capsys):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "fig09", "--apps", "ATAX"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown app 'ATAX'" in err
+        assert "did you mean" in err and "ATA" in err
