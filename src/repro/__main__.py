@@ -6,9 +6,15 @@ Usage::
     python -m repro run fig18               # one experiment, full suite
     python -m repro run fig18 --apps ATA,BLA,VEC
     python -m repro run all                 # the whole evaluation section
+    python -m repro run all --jobs 4        # parallel sweep, 4 workers
     python -m repro run all --checkpoint ck.json   # resumable sweep
     python -m repro run all --resume ck.json       # pick up where it died
+    python -m repro run all --resume ck.json --jobs 4  # parallel resume
     python -m repro app ATA                 # quick single-app study
+
+Parallel sweeps are deterministic: every unit is seeded from its
+(experiment, app) key and the merge is order-independent, so ``--jobs
+N`` produces byte-identical tables to a serial run.
 
 Exit codes: 0 success, 2 usage error (unknown experiment/app, missing
 resume file), 3 sweep completed but some units failed.
@@ -54,7 +60,7 @@ def cmd_list(_args) -> int:
 
 
 def _run_resilient(args, experiments, apps) -> int:
-    from .runner import SweepRunner
+    from .runner import CheckpointError, SweepRunner
     try:
         runner = SweepRunner(
             experiments=experiments,
@@ -64,11 +70,29 @@ def _run_resilient(args, experiments, apps) -> int:
             max_attempts=args.max_attempts,
             backoff_s=args.retry_backoff,
             timeout_s=args.timeout,
+            jobs=args.jobs,
         )
     except FileNotFoundError:
         print(f"resume checkpoint not found: {args.resume!r}",
               file=sys.stderr)
         return 2
+    except CheckpointError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+
+    # Progress streams to stderr (tables go to stdout) as worker
+    # futures complete; with --jobs the completion order is whatever
+    # the pool delivers, which is exactly why it is worth watching.
+    total = len(runner.plan())
+    done = {"n": 0}
+
+    def _progress(key, record):
+        done["n"] += 1
+        print(f"  [{done['n'] + runner.stats.skipped}/{total}] "
+              f"{record['status']} {key} ({record['wall_s']}s, "
+              f"attempts={record['attempts']})", file=sys.stderr)
+
+    runner.on_unit_done = _progress
     results = runner.run()
     for result in results:
         print(result.to_text())
@@ -89,7 +113,10 @@ def cmd_run(args) -> int:
               f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    resilient = bool(args.checkpoint or args.resume)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    resilient = bool(args.checkpoint or args.resume or args.jobs > 1)
     if args.experiment == "all" or resilient:
         experiments = None if args.experiment == "all" else [args.experiment]
         return _run_resilient(args, experiments, apps)
@@ -144,6 +171,9 @@ def main(argv=None) -> int:
     run_p.add_argument("--timeout", type=float, default=None,
                        help="soft per-attempt time limit in seconds "
                             "(default: none)")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (default: 1 = "
+                            "serial; results are identical either way)")
 
     app_p = sub.add_parser("app", help="single-app energy study")
     app_p.add_argument("name")

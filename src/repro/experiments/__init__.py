@@ -1,6 +1,7 @@
 """Per-table/figure experiment drivers regenerating the paper's results."""
 
-from .base import ExperimentResult, format_table, default_apps
+from .base import (ExperimentResult, canonical_json, default_apps,
+                   format_table)
 from .registry import EXPERIMENTS, accepts_apps, run_experiment, run_all
 from .fault_experiments import sec7_1_fault_injection
 from .circuit_experiments import (fig01_power_efficiency,
@@ -18,7 +19,7 @@ from .ablation_experiments import (ablation_bus_invert, ablation_isa_mask,
                                    ablation_pivot_lane)
 
 __all__ = [
-    "ExperimentResult", "format_table", "default_apps",
+    "ExperimentResult", "format_table", "default_apps", "canonical_json",
     "EXPERIMENTS", "accepts_apps", "run_experiment", "run_all",
     "sec7_1_fault_injection",
     "fig01_power_efficiency", "fig05_06_access_energy",

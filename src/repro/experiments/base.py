@@ -8,12 +8,25 @@ record paper-vs-measured side by side.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ExperimentResult", "format_table", "default_apps"]
+__all__ = ["ExperimentResult", "format_table", "default_apps",
+           "canonical_json"]
+
+
+def canonical_json(payload) -> str:
+    """One canonical JSON rendering of a JSON-safe payload.
+
+    Sorted keys, fixed separators, a trailing newline: byte-for-byte
+    stable across runs, which is what the golden-result fixtures and
+    the serial-vs-parallel identity checks compare.
+    """
+    return json.dumps(payload, sort_keys=True, indent=1,
+                      ensure_ascii=False) + "\n"
 
 
 def _plain(value):

@@ -7,6 +7,7 @@
 from __future__ import annotations
 
 import inspect
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 from .base import ExperimentResult
@@ -26,29 +27,34 @@ from .ablation_experiments import (ablation_bus_invert, ablation_isa_mask,
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "accepts_apps"]
 
+# Every entry must be picklable (a module-level function or a partial
+# of one): the parallel sweep backend ships unit descriptions to
+# ProcessPoolExecutor workers, and while workers resolve drivers by
+# *id* rather than by value, keeping the registry lambda-free means the
+# whole table round-trips through pickle under any start method.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig01": fig01_power_efficiency,
-    "fig05": lambda **kw: fig05_06_access_energy("28nm"),
-    "fig06": lambda **kw: fig05_06_access_energy("40nm"),
-    "sec3.1-leakage": lambda **kw: leakage_asymmetry(),
+    "fig05": partial(fig05_06_access_energy, "28nm"),
+    "fig06": partial(fig05_06_access_energy, "40nm"),
+    "sec3.1-leakage": leakage_asymmetry,
     "fig08": fig08_narrow_value,
     "fig09": fig09_bit_ratio,
     "fig11": fig11_lane_hamming,
     "fig12": fig12_pivot_quality,
     "fig14": fig14_isa_bits,
     "table2": table2_masks,
-    "fig16": lambda apps=None: fig16_17_component_energy("28nm", apps),
-    "fig17": lambda apps=None: fig16_17_component_energy("40nm", apps),
-    "fig18": lambda apps=None: fig18_19_chip_energy("28nm", apps),
-    "fig19": lambda apps=None: fig18_19_chip_energy("40nm", apps),
+    "fig16": partial(fig16_17_component_energy, "28nm"),
+    "fig17": partial(fig16_17_component_energy, "40nm"),
+    "fig18": partial(fig18_19_chip_energy, "28nm"),
+    "fig19": partial(fig18_19_chip_energy, "40nm"),
     "fig20": fig20_dvfs,
     "fig21": fig21_schedulers,
     "fig22": fig22_capacity,
     "fig23": fig23_6t_vs_8t,
-    "sec6.3": lambda **kw: overhead_table(),
-    "sec7.1": lambda **kw: discussion_6t_reliability(),
+    "sec6.3": overhead_table,
+    "sec7.1": discussion_6t_reliability,
     "sec7.1-inject": sec7_1_fault_injection,
-    "sec7.2": lambda **kw: discussion_edram(),
+    "sec7.2": discussion_edram,
     "ablation-isa": ablation_isa_mask,
     "ablation-pivot": ablation_pivot_lane,
     "ablation-businvert": ablation_bus_invert,

@@ -1,11 +1,19 @@
-"""Resilient sweep engine: checkpoint/resume, retry, soft timeouts."""
+"""Resilient sweep engine: checkpoint/resume, retry, soft timeouts,
+and a process-pool backend for parallel unit execution."""
 
-from .checkpoint import CHECKPOINT_VERSION, Checkpoint, unit_key
-from .sweep import (SweepRunner, SweepStats, UnitTimeout, error_report,
-                    soft_time_limit)
+from .checkpoint import (CHECKPOINT_SCHEMA_VERSION, CHECKPOINT_VERSION,
+                         Checkpoint, CheckpointError, unit_key)
+from .pool import (UnitTask, UnitTimeout, call_with_wall_clock_limit,
+                   error_report, execute_unit_task, run_unit_attempts,
+                   run_units_parallel, seed_unit_rngs, soft_time_limit,
+                   unit_seed)
+from .sweep import SweepRunner, SweepStats
 
 __all__ = [
-    "CHECKPOINT_VERSION", "Checkpoint", "unit_key",
+    "CHECKPOINT_SCHEMA_VERSION", "CHECKPOINT_VERSION", "Checkpoint",
+    "CheckpointError", "unit_key",
     "SweepRunner", "SweepStats", "UnitTimeout", "error_report",
-    "soft_time_limit",
+    "soft_time_limit", "call_with_wall_clock_limit",
+    "UnitTask", "unit_seed", "seed_unit_rngs", "run_unit_attempts",
+    "execute_unit_task", "run_units_parallel",
 ]

@@ -5,7 +5,15 @@ work — a ``(experiment, app)`` pair, or a whole experiment for drivers
 that can't be decomposed per app. Saves are atomic (write to a
 temp file in the same directory, then ``os.replace``) so a kill at any
 point leaves either the previous checkpoint or the new one, never a
-torn file.
+torn file. Records are written in sorted key order, so two checkpoints
+of the same completed sweep are structurally identical no matter in
+which order (or on how many workers) the units finished.
+
+The on-disk format carries a ``schema_version`` field. Loading is
+defensive: files from older schemas are migrated when possible, and
+corrupt, truncated, or unrecognisable files raise
+:class:`CheckpointError` with a message that says what is wrong —
+never a bare ``KeyError``.
 """
 
 from __future__ import annotations
@@ -15,9 +23,23 @@ import os
 import tempfile
 from typing import Dict, Optional
 
-__all__ = ["Checkpoint", "unit_key", "CHECKPOINT_VERSION"]
+__all__ = ["Checkpoint", "CheckpointError", "unit_key",
+           "CHECKPOINT_SCHEMA_VERSION", "CHECKPOINT_VERSION"]
 
-CHECKPOINT_VERSION = 1
+#: Current on-disk schema. History:
+#: 1 — PR 1 format, version field named ``version``.
+#: 2 — renamed to ``schema_version``; records saved in sorted key
+#:     order (same record shape, so v1 files migrate losslessly).
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: Backwards-compatible alias (pre-schema_version name).
+CHECKPOINT_VERSION = CHECKPOINT_SCHEMA_VERSION
+
+_RECORD_REQUIRED_FIELDS = ("status",)
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file could not be read, parsed, or migrated."""
 
 
 def unit_key(exp_id: str, app_name: Optional[str] = None) -> str:
@@ -47,14 +69,50 @@ class Checkpoint:
     @classmethod
     def load(cls, path: str) -> "Checkpoint":
         with open(path, "r", encoding="utf-8") as fh:
-            data = json.load(fh)
-        version = data.get("version")
-        if version != CHECKPOINT_VERSION:
-            raise ValueError(
-                f"checkpoint {path!r} has version {version!r}, "
-                f"expected {CHECKPOINT_VERSION}")
-        ckpt = cls(path=path, meta=data.get("meta", {}))
-        ckpt.records = dict(data.get("records", {}))
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is corrupt or truncated "
+                    f"({exc}); delete it or rerun without --resume"
+                ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"checkpoint {path!r} is not a checkpoint file "
+                f"(top-level JSON value is {type(data).__name__}, "
+                f"expected an object)")
+
+        version = data.get("schema_version", data.get("version"))
+        if version is None:
+            raise CheckpointError(
+                f"checkpoint {path!r} has no schema_version field — "
+                f"not a sweep checkpoint, or written by a build too old "
+                f"to migrate")
+        if version not in (1, CHECKPOINT_SCHEMA_VERSION):
+            raise CheckpointError(
+                f"checkpoint {path!r} has schema_version {version!r}; "
+                f"this build reads versions 1..{CHECKPOINT_SCHEMA_VERSION}. "
+                f"Regenerate the checkpoint or upgrade the toolkit.")
+
+        records = data.get("records")
+        if not isinstance(records, dict):
+            raise CheckpointError(
+                f"checkpoint {path!r} has no records table")
+        for key, rec in records.items():
+            if not isinstance(rec, dict) or any(
+                    f not in rec for f in _RECORD_REQUIRED_FIELDS):
+                raise CheckpointError(
+                    f"checkpoint {path!r}: record {key!r} is malformed "
+                    f"(expected a dict with {_RECORD_REQUIRED_FIELDS})")
+
+        meta = data.get("meta", {})
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            # v1 -> v2 is a rename-only migration; note the origin so a
+            # re-save silently upgrades the file in place.
+            meta = dict(meta)
+            meta.setdefault("migrated_from_schema", version)
+        ckpt = cls(path=path, meta=meta)
+        ckpt.records = dict(records)
         return ckpt
 
     def get(self, key: str) -> Optional[dict]:
@@ -68,9 +126,10 @@ class Checkpoint:
         if self.path is None:
             return
         data = {
-            "version": CHECKPOINT_VERSION,
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "meta": self.meta,
-            "records": self.records,
+            "records": {key: self.records[key]
+                        for key in sorted(self.records)},
         }
         directory = os.path.dirname(os.path.abspath(self.path))
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")

@@ -1,0 +1,293 @@
+"""Unit execution primitives and the process-pool sweep backend.
+
+This module owns everything about running *one unit of work* — an
+``(experiment, app)`` pair or a whole experiment — plus the machinery
+to fan pending units out to a :class:`~concurrent.futures.\
+ProcessPoolExecutor`:
+
+* :func:`run_unit_attempts` — the retry/backoff/timeout loop shared by
+  the serial and parallel paths, so both produce byte-identical unit
+  records (modulo wall time);
+* :func:`seed_unit_rngs` — per-unit seeding of the ``random`` and
+  ``numpy.random`` global streams, derived from the unit key alone, so
+  any stochastic path is reproducible regardless of which worker runs
+  the unit or in what order units complete;
+* :func:`soft_time_limit` — the SIGALRM guard used on the main thread
+  of the parent process (degrades to a warning, never a crash, off the
+  main thread or on platforms without ``SIGALRM``);
+* :func:`call_with_wall_clock_limit` — the portable wall-clock guard
+  used inside workers, where arming signals is either impossible or
+  unwanted: the driver runs on a watched daemon thread and the unit is
+  failed with :class:`UnitTimeout` once the deadline passes;
+* :func:`run_units_parallel` — submit tasks, stream completed records
+  back to the caller as they finish (completion order), cancel what is
+  still pending if the caller aborts.
+
+Workers resolve the experiment driver from the registry *by id*, so
+the task payload stays small and lambdas never cross the process
+boundary; app objects are pickled (every registered
+:class:`~repro.kernels.api.GPUApp` carries only module-level builder
+functions, so they pickle by reference).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import signal
+import threading
+import time
+import traceback
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "UnitTask", "UnitTimeout", "error_report", "soft_time_limit",
+    "call_with_wall_clock_limit", "unit_seed", "seed_unit_rngs",
+    "run_unit_attempts", "execute_unit_task", "run_units_parallel",
+]
+
+_TRACEBACK_TAIL_LINES = 8
+
+
+class UnitTimeout(Exception):
+    """One unit of work exceeded the per-attempt soft time limit."""
+
+
+# ---------------------------------------------------------------------------
+# Timeout guards
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def soft_time_limit(seconds: Optional[float]):
+    """Raise :class:`UnitTimeout` in the block after ``seconds``.
+
+    Uses ``SIGALRM``, so it only arms on the main thread of the main
+    interpreter and on platforms that have the signal. Elsewhere a
+    requested limit degrades to an *unguarded* run with a
+    :class:`RuntimeWarning` — a soft limit, not a hard guarantee.
+    Worker processes use :func:`call_with_wall_clock_limit` instead.
+    """
+    wanted = seconds is not None and seconds > 0
+    usable = (wanted and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        if wanted:
+            warnings.warn(
+                "soft_time_limit: SIGALRM unavailable here (not the main "
+                "thread, or platform without SIGALRM); running the block "
+                "without a time guard", RuntimeWarning, stacklevel=3)
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise UnitTimeout(f"unit exceeded soft time limit of {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def call_with_wall_clock_limit(fn: Callable[[], object],
+                               seconds: Optional[float]):
+    """Run ``fn()`` with a portable wall-clock deadline.
+
+    With no limit the call runs inline. With a limit the call runs on a
+    daemon thread and the caller waits up to ``seconds``; on expiry a
+    :class:`UnitTimeout` is raised. The abandoned thread may keep
+    running until its current operation finishes — like the SIGALRM
+    guard, this is a soft limit that bounds how long the *sweep* waits,
+    not a preemption mechanism.
+    """
+    if seconds is None or seconds <= 0:
+        return fn()
+    outcome: List[object] = []
+    failure: List[BaseException] = []
+
+    def _target():
+        try:
+            outcome.append(fn())
+        except BaseException as exc:  # noqa: BLE001 — re-raised in caller
+            failure.append(exc)
+
+    worker = threading.Thread(target=_target, daemon=True,
+                              name="unit-wall-clock-guard")
+    worker.start()
+    worker.join(float(seconds))
+    if worker.is_alive():
+        raise UnitTimeout(
+            f"unit exceeded soft time limit of {seconds:g}s "
+            f"(wall-clock guard)")
+    if failure:
+        raise failure[0]
+    return outcome[0]
+
+
+# ---------------------------------------------------------------------------
+# Per-unit determinism
+# ---------------------------------------------------------------------------
+
+def unit_seed(key: str) -> int:
+    """Stable 64-bit seed derived from a unit key alone.
+
+    Depends on nothing but the key string, so the same unit gets the
+    same seed in a serial sweep, in any worker of a parallel sweep, and
+    across resumes — completion order can never leak into results.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def seed_unit_rngs(key: str) -> int:
+    """Seed the ``random`` and legacy ``numpy.random`` global streams.
+
+    Drivers that follow repo convention use explicitly seeded
+    ``np.random.default_rng`` instances and are deterministic anyway;
+    this pins down any path that reaches for a global generator so the
+    golden-result guarantee holds for future code too. Returns the seed
+    for logging/tests.
+    """
+    seed = unit_seed(key)
+    random.seed(seed)
+    np.random.seed(seed % 2**32)
+    return seed
+
+
+# ---------------------------------------------------------------------------
+# Unit execution (shared by serial and parallel paths)
+# ---------------------------------------------------------------------------
+
+def error_report(exc: BaseException) -> dict:
+    """Structured, JSON-safe description of an exception."""
+    tb_lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(tb_lines).strip().splitlines()[-_TRACEBACK_TAIL_LINES:]
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback_tail": "\n".join(tail),
+    }
+
+
+@dataclass
+class UnitTask:
+    """Picklable description of one pending unit of work."""
+
+    exp_id: str
+    app: Optional[object]        # GPUApp or None for whole-experiment units
+    key: str                     # unit_key(exp_id, app.name)
+    max_attempts: int = 3
+    backoff_s: float = 0.5
+    timeout_s: Optional[float] = None
+
+
+def run_unit_attempts(exp_id: str, app, key: str, *,
+                      max_attempts: int,
+                      backoff_s: float,
+                      timeout_s: Optional[float],
+                      sleep: Callable[[float], None] = time.sleep,
+                      on_backoff: Optional[Callable[[float], None]] = None,
+                      use_wall_clock_guard: bool = False) -> dict:
+    """Run one unit through the retry/backoff/timeout loop.
+
+    Returns the checkpoint record dict (``status``/``attempts``/
+    ``wall_s``/``payload``/``error``). Exceptions from the driver are
+    isolated into the record; this function itself only raises on
+    programming errors (e.g. an unknown experiment id).
+    """
+    from ..experiments.registry import EXPERIMENTS
+    driver = EXPERIMENTS[exp_id]
+
+    def _invoke():
+        if app is not None:
+            return driver(apps=[app])
+        return driver()
+
+    start = time.monotonic()
+    error = None
+    for attempt in range(1, max_attempts + 1):
+        if attempt > 1:
+            delay = backoff_s * 2 ** (attempt - 2)
+            if on_backoff is not None:
+                on_backoff(delay)
+            sleep(delay)
+        seed_unit_rngs(key)
+        try:
+            if use_wall_clock_guard:
+                result = call_with_wall_clock_limit(_invoke, timeout_s)
+            else:
+                with soft_time_limit(timeout_s):
+                    result = _invoke()
+            return {
+                "status": "ok",
+                "attempts": attempt,
+                "wall_s": round(time.monotonic() - start, 3),
+                "payload": result.to_dict(),
+                "error": None,
+            }
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            error = error_report(exc)
+    return {
+        "status": "failed",
+        "attempts": max_attempts,
+        "wall_s": round(time.monotonic() - start, 3),
+        "payload": None,
+        "error": error,
+    }
+
+
+def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
+    """Worker entry point: run one task, return ``(key, record)``.
+
+    Runs in a pool worker process; the experiment driver is resolved
+    from the registry by id and the per-attempt timeout uses the
+    portable wall-clock guard (SIGALRM stays untouched in workers).
+    """
+    record = run_unit_attempts(
+        task.exp_id, task.app, task.key,
+        max_attempts=task.max_attempts,
+        backoff_s=task.backoff_s,
+        timeout_s=task.timeout_s,
+        use_wall_clock_guard=True,
+    )
+    return task.key, record
+
+
+# ---------------------------------------------------------------------------
+# Parallel dispatch
+# ---------------------------------------------------------------------------
+
+def run_units_parallel(tasks: Sequence[UnitTask], jobs: int,
+                       on_record: Callable[[str, dict], None]) -> None:
+    """Execute ``tasks`` on a process pool, streaming records back.
+
+    ``on_record(key, record)`` is invoked in the parent as each unit
+    finishes (completion order — the caller's merge is responsible for
+    determinism). If the callback raises (e.g. a KeyboardInterrupt
+    from an interactive kill), pending tasks are cancelled, whatever
+    already completed stays recorded, and the exception propagates so
+    a later ``--resume`` picks up exactly where the sweep stopped.
+    """
+    if not tasks:
+        return
+    workers = max(1, min(int(jobs), len(tasks)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {pool.submit(execute_unit_task, task) for task in tasks}
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, record = future.result()
+                    on_record(key, record)
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise

@@ -4,9 +4,17 @@ Wraps every unit of work — an ``(experiment, app)`` pair when the
 driver accepts an app list, the whole experiment otherwise — with:
 
 * exception isolation (one crashing app can't abort the sweep),
-* a configurable soft timeout per attempt (SIGALRM-based),
-* bounded retry with exponential backoff, and
-* a JSON checkpoint so a killed ``run all`` resumes where it stopped.
+* a configurable soft timeout per attempt,
+* bounded retry with exponential backoff,
+* a JSON checkpoint so a killed ``run all`` resumes where it stopped,
+* and, with ``jobs > 1``, a process-pool backend that runs pending
+  units concurrently (:mod:`repro.runner.pool`).
+
+Determinism guarantees: every unit is seeded from its key alone
+(:func:`~repro.runner.pool.seed_unit_rngs`) and the merge assembles
+per-app slices in sorted app-name order, so serial and parallel sweeps
+— at any worker count and any completion order — produce byte-identical
+result tables.
 
 Failed units end up as structured error reports in the merged
 :class:`~repro.experiments.base.ExperimentResult` (exception type,
@@ -16,65 +24,18 @@ dead process.
 
 from __future__ import annotations
 
-import signal
-import threading
 import time
-import traceback
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.base import ExperimentResult
 from ..experiments.registry import EXPERIMENTS, accepts_apps
 from .checkpoint import Checkpoint, unit_key
+from .pool import (UnitTask, UnitTimeout, error_report, run_unit_attempts,
+                   run_units_parallel, soft_time_limit)
 
 __all__ = ["SweepRunner", "SweepStats", "UnitTimeout", "soft_time_limit",
            "error_report"]
-
-_TRACEBACK_TAIL_LINES = 8
-
-
-class UnitTimeout(Exception):
-    """One unit of work exceeded the per-attempt soft time limit."""
-
-
-@contextmanager
-def soft_time_limit(seconds: Optional[float]):
-    """Raise :class:`UnitTimeout` in the block after ``seconds``.
-
-    Uses ``SIGALRM``, so it only arms on the main thread of the main
-    interpreter (and on platforms that have the signal); elsewhere it
-    degrades to a no-op rather than failing — a soft limit, not a hard
-    guarantee.
-    """
-    usable = (seconds is not None and seconds > 0
-              and hasattr(signal, "SIGALRM")
-              and threading.current_thread() is threading.main_thread())
-    if not usable:
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise UnitTimeout(f"unit exceeded soft time limit of {seconds:g}s")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-def error_report(exc: BaseException) -> dict:
-    """Structured, JSON-safe description of an exception."""
-    tb_lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
-    tail = "".join(tb_lines).strip().splitlines()[-_TRACEBACK_TAIL_LINES:]
-    return {
-        "type": type(exc).__name__,
-        "message": str(exc),
-        "traceback_tail": "\n".join(tail),
-    }
 
 
 @dataclass
@@ -85,7 +46,7 @@ class SweepStats:
     skipped: int = 0    # units restored from the checkpoint
     failed: int = 0     # units that exhausted their attempts
     retried: int = 0    # extra attempts beyond the first, summed
-    sleeps: List[float] = field(default_factory=list)
+    sleeps: List[float] = field(default_factory=list)  # serial path only
 
 
 class SweepRunner:
@@ -104,9 +65,15 @@ class SweepRunner:
     max_attempts / backoff_s / timeout_s:
         Per-unit retry budget, base backoff (doubles per retry), and
         per-attempt soft time limit in seconds (None disables it).
+    jobs:
+        Number of worker processes. 1 (the default) runs in-process;
+        larger values dispatch pending units to a
+        ``ProcessPoolExecutor``. Results are identical either way.
     sleep / on_unit_done:
-        Injection points for tests: the backoff sleeper, and a callback
-        ``(key, record)`` invoked after each unit is checkpointed.
+        Injection points for tests: the backoff sleeper (serial path;
+        workers always use ``time.sleep``), and a callback
+        ``(key, record)`` invoked after each unit is checkpointed — in
+        completion order when ``jobs > 1``.
     """
 
     def __init__(self,
@@ -117,6 +84,7 @@ class SweepRunner:
                  max_attempts: int = 3,
                  backoff_s: float = 0.5,
                  timeout_s: Optional[float] = None,
+                 jobs: int = 1,
                  sleep: Callable[[float], None] = time.sleep,
                  on_unit_done: Optional[Callable[[str, dict], None]] = None):
         self.experiments = list(experiments or EXPERIMENTS)
@@ -125,11 +93,14 @@ class SweepRunner:
             raise KeyError(f"unknown experiments: {unknown}")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
         from ..experiments.base import default_apps
         self.apps = default_apps(apps)
         self.max_attempts = max_attempts
         self.backoff_s = backoff_s
         self.timeout_s = timeout_s
+        self.jobs = int(jobs)
         self.sleep = sleep
         self.on_unit_done = on_unit_done
         if resume:
@@ -156,62 +127,70 @@ class SweepRunner:
                 units.append((exp_id, None))
         return units
 
-    # -- execution --------------------------------------------------------
+    def pending(self) -> List[Tuple[str, Optional[object], str]]:
+        """Planned units not yet completed in the checkpoint.
 
-    def run(self) -> List[ExperimentResult]:
-        """Execute the sweep; return merged results in experiment order."""
+        Counts checkpoint hits into ``stats.skipped`` as a side effect,
+        exactly once per :meth:`run` invocation.
+        """
+        todo: List[Tuple[str, Optional[object], str]] = []
         for exp_id, app in self.plan():
             key = unit_key(exp_id, app.name if app is not None else None)
             existing = self.checkpoint.get(key)
             if existing is not None and existing["status"] == "ok":
                 self.stats.skipped += 1
                 continue
-            record = self._run_unit(exp_id, app)
-            self.stats.run += 1
-            self.stats.retried += record["attempts"] - 1
-            if record["status"] == "failed":
-                self.stats.failed += 1
-            self.checkpoint.record(key, record)
-            if self.on_unit_done is not None:
-                self.on_unit_done(key, record)
+            todo.append((exp_id, app, key))
+        return todo
+
+    # -- execution --------------------------------------------------------
+
+    def run(self) -> List[ExperimentResult]:
+        """Execute the sweep; return merged results in experiment order."""
+        todo = self.pending()
+        if self.jobs > 1 and len(todo) > 1:
+            tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
+                              max_attempts=self.max_attempts,
+                              backoff_s=self.backoff_s,
+                              timeout_s=self.timeout_s)
+                     for exp_id, app, key in todo]
+            run_units_parallel(tasks, self.jobs, self._record)
+        else:
+            for exp_id, app, key in todo:
+                self._record(key, self._run_unit(exp_id, app, key))
         return [self._merge(exp_id) for exp_id in self.experiments]
 
-    def _run_unit(self, exp_id: str, app) -> dict:
-        driver = EXPERIMENTS[exp_id]
-        start = time.monotonic()
-        error = None
-        for attempt in range(1, self.max_attempts + 1):
-            if attempt > 1:
-                delay = self.backoff_s * 2 ** (attempt - 2)
-                self.stats.sleeps.append(delay)
-                self.sleep(delay)
-            try:
-                with soft_time_limit(self.timeout_s):
-                    if app is not None:
-                        result = driver(apps=[app])
-                    else:
-                        result = driver()
-                return {
-                    "status": "ok",
-                    "attempts": attempt,
-                    "wall_s": round(time.monotonic() - start, 3),
-                    "payload": result.to_dict(),
-                    "error": None,
-                }
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
-                error = error_report(exc)
-        return {
-            "status": "failed",
-            "attempts": self.max_attempts,
-            "wall_s": round(time.monotonic() - start, 3),
-            "payload": None,
-            "error": error,
-        }
+    def _record(self, key: str, record: dict) -> None:
+        """Account for one finished unit and persist it."""
+        self.stats.run += 1
+        self.stats.retried += record["attempts"] - 1
+        if record["status"] == "failed":
+            self.stats.failed += 1
+        self.checkpoint.record(key, record)
+        if self.on_unit_done is not None:
+            self.on_unit_done(key, record)
+
+    def _run_unit(self, exp_id: str, app, key: str) -> dict:
+        """Serial (in-process) execution of one unit."""
+        return run_unit_attempts(
+            exp_id, app, key,
+            max_attempts=self.max_attempts,
+            backoff_s=self.backoff_s,
+            timeout_s=self.timeout_s,
+            sleep=self.sleep,
+            on_backoff=self.stats.sleeps.append,
+        )
 
     # -- merging ----------------------------------------------------------
 
     def _merge(self, exp_id: str) -> ExperimentResult:
-        """Reassemble one experiment's result from its unit records."""
+        """Reassemble one experiment's result from its unit records.
+
+        Per-app slices are assembled in sorted app-name order — never
+        submission or completion order — so the merged table (rows,
+        float summary accumulation, failure notes) is byte-identical
+        for serial and parallel sweeps.
+        """
         if not accepts_apps(EXPERIMENTS[exp_id]):
             rec = self.checkpoint.get(unit_key(exp_id))
             if rec is None or rec["status"] != "ok":
@@ -222,8 +201,9 @@ class SweepRunner:
             app.name: self.checkpoint.get(unit_key(exp_id, app.name))
             for app in self.apps
         }
-        ok = {name: rec for name, rec in parts.items()
-              if rec is not None and rec["status"] == "ok"}
+        order = sorted(parts)
+        ok = {name: parts[name] for name in order
+              if parts[name] is not None and parts[name]["status"] == "ok"}
         if not ok:
             return self._failure_result(exp_id, parts)
 
@@ -233,12 +213,12 @@ class SweepRunner:
         headers = ["app"] + list(first.headers)
         rows = []
         summary_acc: Dict[str, List[float]] = {}
-        for app in self.apps:
-            part = slices.get(app.name)
+        for name in order:
+            part = slices.get(name)
             if part is None:
                 continue
             for row in part.rows:
-                rows.append([app.name] + list(row))
+                rows.append([name] + list(row))
             for k, v in part.summary.items():
                 summary_acc.setdefault(k, []).append(float(v))
         summary = {k: sum(vs) / len(vs) for k, vs in summary_acc.items()}
@@ -246,7 +226,8 @@ class SweepRunner:
         summary["units_failed"] = float(len(parts) - len(ok))
 
         notes = [first.notes] if first.notes else []
-        for name, rec in parts.items():
+        for name in order:
+            rec = parts[name]
             if rec is None or rec["status"] == "ok":
                 continue
             err = rec["error"] or {}
@@ -268,7 +249,8 @@ class SweepRunner:
     def _failure_result(self, exp_id: str, parts: dict) -> ExperimentResult:
         """Placeholder result when every unit of an experiment failed."""
         notes = []
-        for name, rec in parts.items():
+        for name in sorted(parts, key=lambda n: n or ""):
+            rec = parts[name]
             err = (rec or {}).get("error") or {}
             label = unit_key(exp_id, name)
             notes.append(
@@ -289,13 +271,15 @@ class SweepRunner:
 
     @property
     def failed_units(self) -> List[str]:
-        return [key for key, rec in self.checkpoint.records.items()
+        return [key for key, rec in sorted(self.checkpoint.records.items())
                 if rec["status"] == "failed"]
 
     def report_line(self) -> str:
         s = self.stats
         line = (f"sweep: {s.run} run, {s.skipped} resumed, "
                 f"{s.failed} failed, {s.retried} retries")
+        if self.jobs > 1:
+            line += f" (jobs={self.jobs})"
         if self.checkpoint.path:
             line += f" (checkpoint: {self.checkpoint.path})"
         return line

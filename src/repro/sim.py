@@ -13,6 +13,12 @@ single architecture-wide mask.
 
 Results are memoised per (app, config, pivot) in-process so the many
 experiments and benchmarks that share a configuration simulate it once.
+The caches are process-local by design: parallel sweeps
+(``repro.runner`` with ``jobs > 1``) fork workers that each warm their
+own copy, which keeps the memoisation lock-free and the results
+independent of how units are scheduled. Cache state never influences
+simulated numbers — only whether they are recomputed — so serial and
+parallel sweeps agree bit for bit.
 """
 
 from __future__ import annotations
@@ -31,7 +37,8 @@ from .arch.gpu import GPUReplay
 from .arch.memory import GlobalMemory
 from .arch.stats import Encoders
 
-__all__ = ["SuiteResult", "simulate_app", "simulate_suite", "clear_caches"]
+__all__ = ["SuiteResult", "simulate_app", "simulate_suite", "clear_caches",
+           "cache_sizes"]
 
 _FUNCTIONAL_CACHE: Dict[tuple, tuple] = {}
 _STATS_CACHE: Dict[tuple, AppStats] = {}
@@ -41,6 +48,16 @@ def clear_caches() -> None:
     """Drop memoised simulation results (mainly for tests)."""
     _FUNCTIONAL_CACHE.clear()
     _STATS_CACHE.clear()
+
+
+def cache_sizes() -> Dict[str, int]:
+    """Entry counts of this process's memoisation caches.
+
+    Diagnostic only (progress tooling, tests): in a parallel sweep each
+    worker reports its own numbers.
+    """
+    return {"functional": len(_FUNCTIONAL_CACHE),
+            "stats": len(_STATS_CACHE)}
 
 
 @dataclass

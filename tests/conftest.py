@@ -1,0 +1,16 @@
+"""Shared pytest configuration for the reproduction test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the JSON fixtures under tests/golden/ from the "
+             "current code instead of asserting against them")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should rewrite golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))

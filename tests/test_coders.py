@@ -265,6 +265,68 @@ class TestSpaces:
         assert Unit.REG in overlap and Unit.SME not in overlap
 
 
+class TestInvolutionProperties:
+    """Property-based involution checks across every coder, including
+    masked encode/decode paths and the all-lanes-inactive edge case.
+    These pin the algebra the golden-result suite leans on: an encode
+    that fails to invert would silently skew every toggle statistic."""
+
+    u64s = st.integers(min_value=0, max_value=2**64 - 1)
+    lane_masks = st.lists(st.booleans(), min_size=32, max_size=32).map(
+        lambda bs: np.array(bs, dtype=bool))
+
+    @given(u32_arrays)
+    def test_composed_nv_vs_involution(self, words):
+        composed = ComposedCoder([NVCoder(), VSCoder()])
+        enc = composed.encode_words(words)
+        assert np.array_equal(composed.decode_words(enc), words)
+        assert np.array_equal(composed.encode_words(enc), words)
+
+    @given(u32_arrays, st.integers(0, 31))
+    def test_composed_involution_any_pivot(self, words, pivot):
+        composed = ComposedCoder([NVCoder(), VSCoder(pivot_index=pivot)])
+        assert np.array_equal(
+            composed.decode_words(composed.encode_words(words)), words)
+
+    @given(warp_blocks, lane_masks)
+    def test_masked_encode_decode_involution(self, block, active):
+        vs = VSCoder()
+        enc = vs.encode_masked(block, active)
+        assert np.array_equal(vs.decode_masked(enc, active), block)
+        # Inactive lanes must pass through encode untouched.
+        assert np.array_equal(enc[~active], block[~active])
+
+    @given(warp_blocks)
+    def test_masked_all_lanes_inactive_is_identity(self, block):
+        vs = VSCoder()
+        nothing = np.zeros(32, dtype=bool)
+        enc = vs.encode_masked(block, nothing)
+        assert np.array_equal(enc, block)
+        assert np.array_equal(vs.decode_masked(enc, nothing), block)
+
+    @given(warp_blocks, st.integers(0, 31))
+    def test_masked_single_active_lane(self, block, lane):
+        # One active lane: it must be its own pivot and survive intact.
+        vs = VSCoder()
+        active = np.zeros(32, dtype=bool)
+        active[lane] = True
+        enc = vs.encode_masked(block, active)
+        assert np.array_equal(vs.decode_masked(enc, active), block)
+
+    @given(st.lists(u64s, min_size=1, max_size=64), u64s)
+    def test_isa_involution_any_mask(self, words, mask):
+        coder = ISACoder(mask)
+        arr = np.array(words, dtype=np.uint64)
+        enc = coder.encode_words(arr)
+        assert np.array_equal(coder.decode_words(enc), arr)
+
+    @given(u32_arrays)
+    def test_nv_decode_is_encode(self, words):
+        nv = NVCoder()
+        assert np.array_equal(nv.decode_words(nv.encode_words(words)),
+                              words)
+
+
 class TestObjective:
     def test_hamming_objective_counts_ones(self):
         assert hamming_objective(np.array([0xF], dtype=np.uint32)) == 4

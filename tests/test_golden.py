@@ -1,0 +1,176 @@
+"""Golden-result regression suite for the sweep runner.
+
+Pins down the determinism contract that makes parallel execution safe
+to trust: a small representative sweep must produce *byte-identical*
+merged result tables whether it runs serially, on 2 workers, or on 4 —
+and those bytes must match the committed fixture in ``tests/golden/``.
+
+Regenerate fixtures intentionally (after a change that is *supposed*
+to move the numbers) with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+and commit the diff; an unintentional diff here is a regression.
+"""
+
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import ExperimentResult, canonical_json
+from repro.runner import Checkpoint, SweepRunner, unit_key
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SMOKE_FIXTURE = GOLDEN_DIR / "smoke_sweep.json"
+
+#: A representative but cheap sweep: two per-app experiments (one
+#: replay-heavy, one mask-profiling) and one whole-experiment driver.
+SMOKE_EXPERIMENTS = ["fig09", "table2", "sec3.1-leakage"]
+SMOKE_APPS = ("ATA", "VEC")
+
+
+def _get_apps():
+    from repro.kernels import get_app
+    return [get_app(name) for name in SMOKE_APPS]
+
+
+def _smoke_sweep(jobs, **kwargs) -> str:
+    runner = SweepRunner(experiments=SMOKE_EXPERIMENTS, apps=_get_apps(),
+                         jobs=jobs, **kwargs)
+    results = runner.run()
+    assert runner.stats.failed == 0, runner.failed_units
+    return canonical_json([r.to_dict() for r in results])
+
+
+class TestGoldenSmokeSweep:
+    """Serial and parallel runs of the smoke sweep, against the fixture."""
+
+    def test_serial_matches_fixture(self, update_golden):
+        text = _smoke_sweep(jobs=1)
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            SMOKE_FIXTURE.write_text(text, encoding="utf-8")
+            pytest.skip("golden fixture regenerated; commit the diff")
+        assert SMOKE_FIXTURE.exists(), (
+            "missing golden fixture — generate it with "
+            "`python -m pytest tests/test_golden.py --update-golden`")
+        assert text == SMOKE_FIXTURE.read_text(encoding="utf-8")
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_matches_fixture_byte_identically(self, jobs,
+                                                       update_golden):
+        if update_golden:
+            pytest.skip("fixture regeneration runs serially")
+        assert _smoke_sweep(jobs=jobs) == \
+            SMOKE_FIXTURE.read_text(encoding="utf-8")
+
+    def test_interrupted_parallel_sweep_resumes_cleanly(self, tmp_path,
+                                                        update_golden):
+        """A killed --jobs sweep must resume, skip finished units, and
+        still land on the golden bytes."""
+        if update_golden:
+            pytest.skip("fixture regeneration runs serially")
+        path = str(tmp_path / "ck.json")
+
+        def die_after_first(key, record):
+            raise KeyboardInterrupt
+
+        killed = SweepRunner(experiments=SMOKE_EXPERIMENTS, apps=_get_apps(),
+                             jobs=2, checkpoint_path=path,
+                             on_unit_done=die_after_first)
+        with pytest.raises(KeyboardInterrupt):
+            killed.run()
+        survived = len(Checkpoint.load(path))
+        assert survived >= 1  # completed units outlived the kill
+
+        resumed = SweepRunner(experiments=SMOKE_EXPERIMENTS, apps=_get_apps(),
+                              jobs=2, checkpoint_path=path, resume=True)
+        results = resumed.run()
+        assert resumed.stats.skipped == survived      # nothing re-ran
+        assert resumed.stats.run + survived == len(resumed.plan())
+        assert canonical_json([r.to_dict() for r in results]) == \
+            SMOKE_FIXTURE.read_text(encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Merge-order invariance (property test)
+# ---------------------------------------------------------------------------
+
+class _ToyApp:
+    def __init__(self, name):
+        self.name = name
+
+
+_TOY_APPS = [_ToyApp(n) for n in ("ALP", "BET", "GAM", "DEL", "EPS")]
+
+
+def _toy_record(app_name: str) -> dict:
+    """A synthetic per-app unit record with app-dependent numbers."""
+    value = float(sum(app_name.encode()) % 97) / 7.0
+    payload = ExperimentResult(
+        exp_id="fig09", title="toy slice", headers=["metric"],
+        rows=[[round(value, 6)]],
+        summary={"metric": value, "weight": value * 3.5},
+    )
+    return {"status": "ok", "attempts": 1, "wall_s": 0.0,
+            "payload": payload.to_dict(), "error": None}
+
+
+def _merge_in_order(order) -> str:
+    # "fig09" stands in for any per-app experiment: _merge only needs
+    # its registry entry to accept apps, the records are synthetic.
+    runner = SweepRunner(experiments=["fig09"], apps=_TOY_APPS)
+    for idx in order:
+        app = _TOY_APPS[idx]
+        runner.checkpoint.records[unit_key("fig09", app.name)] = \
+            _toy_record(app.name)
+    return canonical_json(runner._merge("fig09").to_dict())
+
+
+_CANONICAL_MERGE = None
+
+
+def _canonical_merge() -> str:
+    global _CANONICAL_MERGE
+    if _CANONICAL_MERGE is None:
+        _CANONICAL_MERGE = _merge_in_order(range(len(_TOY_APPS)))
+    return _CANONICAL_MERGE
+
+
+class TestMergeOrderInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(st.permutations(list(range(len(_TOY_APPS)))))
+    def test_merge_is_invariant_under_completion_order(self, order):
+        """Shuffled record arrival (what a process pool produces) must
+        merge to the same bytes — rows, float summary means, notes."""
+        assert _merge_in_order(order) == _canonical_merge()
+
+    def test_merge_row_order_is_sorted_by_app(self):
+        merged = SweepRunner(experiments=["fig09"], apps=_TOY_APPS)
+        for idx in (3, 0, 4, 2, 1):
+            app = _TOY_APPS[idx]
+            merged.checkpoint.records[unit_key("fig09", app.name)] = \
+                _toy_record(app.name)
+        result = merged._merge("fig09")
+        assert [row[0] for row in result.rows] == \
+            sorted(a.name for a in _TOY_APPS)
+
+
+class TestPerUnitSeeding:
+    def test_global_rng_paths_are_order_independent(self):
+        """Two different unit execution orders leave a driver that uses
+        the *global* RNGs with identical per-unit draws."""
+        from repro.runner import seed_unit_rngs
+
+        def draw(key):
+            seed_unit_rngs(key)
+            return (np.random.random(), random.random())
+
+        keys = [unit_key("fig09", a.name) for a in _TOY_APPS]
+        forward = {k: draw(k) for k in keys}
+        backward = {k: draw(k) for k in reversed(keys)}
+        assert forward == backward
+        assert len({v for v in forward.values()}) == len(keys)
