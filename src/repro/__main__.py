@@ -10,14 +10,19 @@ Usage::
     python -m repro run all --checkpoint ck.json   # resumable sweep
     python -m repro run all --resume ck.json       # pick up where it died
     python -m repro run all --resume ck.json --jobs 4  # parallel resume
+    python -m repro run all --trace t.jsonl --metrics-out m.json
     python -m repro app ATA                 # quick single-app study
+    python -m repro obs report --apps ATA,VEC      # energy provenance
+    python -m repro obs tree t.jsonl        # render a trace dump
 
 Parallel sweeps are deterministic: every unit is seeded from its
 (experiment, app) key and the merge is order-independent, so ``--jobs
-N`` produces byte-identical tables to a serial run.
+N`` produces byte-identical tables to a serial run; the merged trace
+structure and metrics snapshot are deterministic the same way.
 
 Exit codes: 0 success, 2 usage error (unknown experiment/app, missing
-resume file), 3 sweep completed but some units failed.
+resume file), 3 sweep completed but some units failed (or a provenance
+total failed to reproduce the chip model exactly).
 """
 
 from __future__ import annotations
@@ -27,24 +32,31 @@ import difflib
 import sys
 
 
+def _lookup_app(name: str, known):
+    """One app by name; exit 2 with a did-you-mean hint when unknown.
+
+    The single validation point behind every app-accepting command
+    (``run --apps``, ``obs report --apps``, ``app``), so the suggestion
+    behaviour can never drift between subcommands.
+    """
+    from .kernels import get_app
+    try:
+        return get_app(name)
+    except KeyError:
+        close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+        hint = f"; did you mean {', '.join(close)}?" if close else ""
+        print(f"unknown app {name!r}{hint}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _resolve_apps(spec):
     """Parse a comma-separated app spec; exit 2 with suggestions if bad."""
     if not spec:
         return None
-    from .kernels import all_apps, get_app
+    from .kernels import all_apps
     known = [app.name for app in all_apps()]
-    resolved = []
-    for name in (n.strip() for n in spec.split(",")):
-        if not name:
-            continue
-        try:
-            resolved.append(get_app(name))
-        except KeyError:
-            close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
-            hint = f"; did you mean {', '.join(close)}?" if close else ""
-            print(f"unknown app {name!r}{hint}", file=sys.stderr)
-            raise SystemExit(2)
-    return resolved
+    return [_lookup_app(name, known)
+            for name in (n.strip() for n in spec.split(",")) if name]
 
 
 def cmd_list(_args) -> int:
@@ -71,6 +83,8 @@ def _run_resilient(args, experiments, apps) -> int:
             backoff_s=args.retry_backoff,
             timeout_s=args.timeout,
             jobs=args.jobs,
+            trace_path=args.trace,
+            metrics_path=args.metrics_out,
         )
     except FileNotFoundError:
         print(f"resume checkpoint not found: {args.resume!r}",
@@ -116,7 +130,10 @@ def cmd_run(args) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
-    resilient = bool(args.checkpoint or args.resume or args.jobs > 1)
+    # Observability sinks need the unit-record machinery, so they force
+    # the resilient path (which is result-identical to the plain one).
+    resilient = bool(args.checkpoint or args.resume or args.jobs > 1
+                     or args.trace or args.metrics_out)
     if args.experiment == "all" or resilient:
         experiments = None if args.experiment == "all" else [args.experiment]
         return _run_resilient(args, experiments, apps)
@@ -131,10 +148,11 @@ def cmd_run(args) -> int:
 
 
 def cmd_app(args) -> int:
-    from .kernels import get_app
+    from .kernels import all_apps
     from .power import ChipModel
     from .sim import simulate_app
-    stats = simulate_app(get_app(args.name))
+    app = _lookup_app(args.name, [a.name for a in all_apps()])
+    stats = simulate_app(app)
     print(f"{args.name}: {stats.instructions} warp-instructions, "
           f"{stats.cycles} cycles, L1D hit {stats.l1d_hit_rate:.0%}")
     for tech in ("28nm", "40nm"):
@@ -142,6 +160,43 @@ def cmd_app(args) -> int:
         base, bvf = model.baseline(stats), model.bvf(stats)
         print(f"  {tech}: {base.total_j:.3e} J -> {bvf.total_j:.3e} J "
               f"({bvf.reduction_vs(base):.1%} saved)")
+    return 0
+
+
+#: Default app subset for ``obs report`` — the golden-smoke pair, so
+#: the command answers in seconds instead of sweeping all 58 apps.
+OBS_REPORT_DEFAULT_APPS = "ATA,VEC"
+
+
+def cmd_obs(args) -> int:
+    if args.obs_command == "tree":
+        try:
+            with open(args.trace, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"cannot read trace {args.trace!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        from .obs.tracer import render_jsonl_tree
+        print(render_jsonl_tree(text))
+        return 0
+
+    # obs report
+    from .obs.report import provenance_report
+    apps = _resolve_apps(args.apps or OBS_REPORT_DEFAULT_APPS)
+    json_out = [] if args.json else None
+    text, all_exact = provenance_report(apps, tech=args.tech,
+                                        json_out=json_out)
+    print(text)
+    if args.json:
+        from .experiments.base import canonical_json
+        from .obs.report import write_text_sink
+        write_text_sink(args.json, canonical_json(json_out),
+                        "provenance json")
+    if not all_exact:
+        print("provenance totals do not reproduce the chip model "
+              "exactly", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -174,12 +229,36 @@ def main(argv=None) -> int:
     run_p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for the sweep (default: 1 = "
                             "serial; results are identical either way)")
+    run_p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write the sweep's merged span tree to this "
+                            "JSONL file")
+    run_p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the sweep's merged metrics here (JSON; "
+                            "Prometheus text for .prom/.txt)")
 
     app_p = sub.add_parser("app", help="single-app energy study")
     app_p.add_argument("name")
 
+    obs_p = sub.add_parser("obs", help="observability reports")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    report_p = obs_sub.add_parser(
+        "report", help="energy-provenance audit: final pJ figures "
+                       "decomposed to (unit, variant, access) rows")
+    report_p.add_argument("--apps", default="",
+                          help=f"comma-separated app subset (default: "
+                               f"{OBS_REPORT_DEFAULT_APPS})")
+    report_p.add_argument("--tech", default="40nm",
+                          choices=("28nm", "40nm"),
+                          help="technology node (default: 40nm)")
+    report_p.add_argument("--json", default=None, metavar="PATH",
+                          help="also export the provenance rows as JSON")
+    tree_p = obs_sub.add_parser(
+        "tree", help="render a --trace JSONL dump as an indented tree")
+    tree_p.add_argument("trace", metavar="TRACE.jsonl")
+
     args = parser.parse_args(argv)
-    handler = {"list": cmd_list, "run": cmd_run, "app": cmd_app}
+    handler = {"list": cmd_list, "run": cmd_run, "app": cmd_app,
+               "obs": cmd_obs}
     return handler[args.command](args)
 
 

@@ -48,6 +48,9 @@ class AppStats:
     lanes: Optional[LaneHammingProfile] = None
     static_binary: Optional[np.ndarray] = None
     footprints: Dict[Unit, float] = field(default_factory=dict)
+    #: per-level cache counters (plain-int dicts keyed "l1d"/"l1i"/
+    #: "l1c"/"l1t"/"l2"), aggregated across SMs/banks by the replay.
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     #: issue rate assumed for the equivalent fully-occupied run used in
     #: leakage accounting (the paper's workloads saturate the GPU; our
@@ -125,4 +128,10 @@ def build_app_stats(app_name: str, functional_tally: Tally,
         lanes=lanes,
         static_binary=static_binary,
         footprints=dict(getattr(replay_result, "footprints", {})),
+        cache_stats={
+            name: (stats.to_dict() if hasattr(stats, "to_dict")
+                   else dict(stats))
+            for name, stats in sorted(
+                getattr(replay_result, "cache_stats", {}).items())
+        },
     )

@@ -36,6 +36,20 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Counter-wise sum (aggregating per-SM caches to one level)."""
+        return CacheStats(
+            self.accesses + other.accesses, self.hits + other.hits,
+            self.evictions + other.evictions,
+            self.write_evicts + other.write_evicts,
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-int snapshot for AppStats / the metrics registry."""
+        return {"accesses": self.accesses, "hits": self.hits,
+                "evictions": self.evictions,
+                "write_evicts": self.write_evicts}
+
 
 class Cache:
     """Tag-store-only set-associative cache with true-LRU replacement."""

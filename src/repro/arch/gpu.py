@@ -33,6 +33,7 @@ from .stats import Encoders, Tally, TimingStats
 from .trace import AppTrace, InstRecord, MemSpace
 from ..core.bitutils import INST_BITS, hamming_weight, popcount32, popcount64
 from ..core.spaces import Unit
+from ..obs.tracer import trace_span
 
 __all__ = ["ReplayResult", "GPUReplay"]
 
@@ -370,6 +371,18 @@ class GPUReplay:
     # ------------------------------------------------------------------
 
     def run(self, app: AppTrace) -> ReplayResult:
+        """Replay one app trace; traced as a ``replay`` span when a
+        tracer is installed (see :mod:`repro.obs`)."""
+        with trace_span("replay", launches=len(app.launches)) as span:
+            result = self._run(app)
+            if span is not None:
+                span.set(cycles=result.timing.cycles,
+                         instructions=result.timing.instructions,
+                         used_sms=result.timing.used_sms,
+                         dram_accesses=result.dram_accesses)
+            return result
+
+    def _run(self, app: AppTrace) -> ReplayResult:
         cfg = self.config
         mem = GlobalMemory(size_bytes=app.initial_image.size)
         mem.restore(app.initial_image)
@@ -392,6 +405,8 @@ class GPUReplay:
         total_cycles = 0
         used_sms = set()
         footprints: Dict[Unit, float] = {}
+        cache_totals = {name: CacheStats()
+                        for name in ("l1d", "l1i", "l1c", "l1t", "l2")}
 
         def bump(unit: Unit, fraction: float) -> None:
             footprints[unit] = max(footprints.get(unit, 0.0),
@@ -436,11 +451,18 @@ class GPUReplay:
             bump(Unit.L2,
                  l2_resident * cfg.l2_line_bytes / (cfg.l2_kb * 1024.0))
             bump(Unit.IFB, 1.0)
+            for sm in sms:
+                for level in ("l1d", "l1i", "l1c", "l1t"):
+                    cache_totals[level] = cache_totals[level].merged(
+                        getattr(sm, level).stats)
 
+        for bank in l2_banks:
+            cache_totals["l2"] = cache_totals["l2"].merged(bank.stats)
         noc.stats.flush()
         timing.cycles = total_cycles
         timing.used_sms = max(1, len(used_sms))
         return ReplayResult(tally=tally, noc=noc, timing=timing,
+                            cache_stats=cache_totals,
                             dram_accesses=dram.accesses,
                             footprints=footprints)
 

@@ -10,6 +10,7 @@ import inspect
 from functools import partial
 from typing import Callable, Dict, List, Optional
 
+from ..obs.tracer import trace_span
 from .base import ExperimentResult
 from .circuit_experiments import (discussion_6t_reliability,
                                   discussion_edram, fig01_power_efficiency,
@@ -88,7 +89,11 @@ def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(**kwargs)
+    with trace_span("experiment", exp_id=exp_id) as span:
+        result = driver(**kwargs)
+        if span is not None:
+            span.set(title=result.title, rows=len(result.rows))
+        return result
 
 
 def run_all(apps: Optional[list] = None) -> List[ExperimentResult]:

@@ -1,0 +1,230 @@
+"""Energy-provenance accounting: every final joule, traced to tallies.
+
+A chip-level pJ figure out of :mod:`repro.power.chip` is an aggregate
+over a deep pipeline — kernel replay, per-unit bit tallies, coder
+variants, circuit-priced unit energies, roll-up. When a number
+surprises (a VS regression on one app, a leakage-dominated unit), the
+question is always *where did the energy come from*. This module makes
+the decomposition a first-class artifact:
+
+* :func:`build_provenance` evaluates one ``(cell, variant)`` operating
+  point and returns an :class:`EnergyProvenance` whose rows break
+  every BVF unit into (read-0 / read-1 / write-0 / write-1 / leakage)
+  contributions carrying the underlying bit counts, plus NoC toggle
+  and non-BVF activity rows;
+* the per-unit totals are taken verbatim from the same
+  :func:`~repro.power.unit_energy.sram_unit_energy` /
+  :func:`~repro.power.unit_energy.noc_energy` /
+  :meth:`~repro.power.chip.ChipModel.nonbvf_energies` calls the chip
+  model itself makes, so :meth:`EnergyProvenance.chip_energy`
+  reproduces :meth:`ChipModel.evaluate` *exactly* (same floats, same
+  summation order) while the access-type rows decompose the dynamic
+  term to float round-off (<1e-12 relative).
+
+The access-type split re-prices each bit count with the same cached
+:func:`~repro.circuits.array.energy_table` the unit-energy model uses,
+so a row's ``quantity * price == energy`` is auditable by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.parser import AppStats
+from ..circuits.array import energy_table
+from ..power.chip import BVF_UNITS, ChipEnergy, ChipModel
+from ..power.unit_energy import (ARRAY_ROWS, BASELINE_CELL, BVF_CELL,
+                                 noc_energy, sram_unit_energy)
+
+__all__ = ["ACCESS_KINDS", "ProvenanceRow", "EnergyProvenance",
+           "build_provenance", "variant_dynamic_matrix"]
+
+#: The four per-bit-value access types the circuit model prices.
+ACCESS_KINDS = ("read0", "read1", "write0", "write1")
+
+
+@dataclass(frozen=True)
+class ProvenanceRow:
+    """One attributed energy contribution.
+
+    ``kind`` is one of :data:`ACCESS_KINDS`, ``"leakage"``,
+    ``"toggle"`` or ``"activity"``; ``quantity`` is the underlying
+    tally (bits accessed, toggles, powered bits, lane-ops...) and
+    ``price`` its per-event energy in joules where the decomposition
+    is linear (0.0 for aggregate rows).
+    """
+
+    component: str
+    variant: str
+    kind: str
+    quantity: float
+    price_j: float
+    energy_j: float
+
+
+@dataclass
+class EnergyProvenance:
+    """Decomposed chip energy for one (app, cell, variant) evaluation."""
+
+    app_name: str
+    cell_name: str
+    tech_name: str
+    vdd: float
+    variant: str
+    include_overhead: bool
+    rows: List[ProvenanceRow] = field(default_factory=list)
+    #: exact per-component totals, in :meth:`ChipModel.evaluate`'s
+    #: insertion order — the audit anchor.
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.components.values())
+
+    def chip_energy(self) -> ChipEnergy:
+        """The equivalent :class:`ChipEnergy` (bit-identical to what
+        :meth:`ChipModel.evaluate` returns for the same inputs)."""
+        return ChipEnergy(components=dict(self.components))
+
+    def component_rows(self, component: str) -> List[ProvenanceRow]:
+        return [row for row in self.rows if row.component == component]
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app_name,
+            "cell": self.cell_name,
+            "tech": self.tech_name,
+            "vdd": self.vdd,
+            "variant": self.variant,
+            "include_overhead": self.include_overhead,
+            "total_j": self.total_j,
+            "components": dict(self.components),
+            "rows": [
+                {"component": r.component, "variant": r.variant,
+                 "kind": r.kind, "quantity": r.quantity,
+                 "price_j": r.price_j, "energy_j": r.energy_j}
+                for r in self.rows
+            ],
+        }
+
+    # -- rendering -------------------------------------------------------
+
+    def table_text(self) -> str:
+        """Aligned per-unit table: access-type pJ columns + totals."""
+        from ..experiments.base import format_table
+
+        headers = ["component", "variant", "read0 pJ", "read1 pJ",
+                   "write0 pJ", "write1 pJ", "toggle pJ", "leak pJ",
+                   "total pJ", "share"]
+        total = self.total_j
+        rows = []
+        for component, total_j in self.components.items():
+            cells = {kind: 0.0 for kind in
+                     ACCESS_KINDS + ("toggle", "leakage", "activity")}
+            variant = "-"
+            for row in self.component_rows(component):
+                cells[row.kind] += row.energy_j
+                if row.variant != "-":
+                    variant = row.variant
+            rows.append([
+                component, variant,
+                *(f"{(cells[k]) * 1e12:.3f}" for k in ACCESS_KINDS),
+                f"{cells['toggle'] * 1e12:.3f}",
+                f"{cells['leakage'] * 1e12:.3f}",
+                f"{total_j * 1e12:.3f}",
+                f"{total_j / total:.1%}" if total else "-",
+            ])
+        rows.append(["TOTAL", self.variant, "", "", "", "", "", "",
+                     f"{total * 1e12:.3f}", "100.0%"])
+        return format_table(headers, rows)
+
+
+def build_provenance(stats: AppStats, model: ChipModel, cell_name: str,
+                     variant: str,
+                     include_overhead: bool = False) -> EnergyProvenance:
+    """Decompose one chip evaluation into provenance rows.
+
+    Mirrors :meth:`ChipModel.evaluate` component by component, in the
+    same order, reusing the same pricing calls for the totals.
+    """
+    prov = EnergyProvenance(
+        app_name=stats.app_name, cell_name=cell_name,
+        tech_name=model.tech.name, vdd=model.vdd, variant=variant,
+        include_overhead=include_overhead)
+
+    table = energy_table(cell_name, model.tech.name, model.vdd,
+                         rows=ARRAY_ROWS)
+    prices = {
+        "read0": table.read_fj[0] * 1e-15,
+        "read1": table.read_fj[1] * 1e-15,
+        "write0": table.write_fj[0] * 1e-15,
+        "write1": table.write_fj[1] * 1e-15,
+    }
+    for unit in BVF_UNITS:
+        ue = sram_unit_energy(stats, unit, variant, cell_name,
+                              model.tech.name, model.vdd, model.config)
+        counts = stats.unit_counts(unit, variant)
+        tallies = {"read0": counts.read0, "read1": counts.read1,
+                   "write0": counts.write0, "write1": counts.write1}
+        for kind in ACCESS_KINDS:
+            prov.rows.append(ProvenanceRow(
+                component=unit.name, variant=variant, kind=kind,
+                quantity=float(tallies[kind]), price_j=prices[kind],
+                energy_j=tallies[kind] * prices[kind]))
+        prov.rows.append(ProvenanceRow(
+            component=unit.name, variant=variant, kind="leakage",
+            quantity=float(counts.total_bits), price_j=0.0,
+            energy_j=ue.leakage_j))
+        prov.components[unit.name] = ue.total_j
+
+    noc = noc_energy(stats, variant, model.tech.name, model.vdd,
+                     model.config)
+    toggles = stats.noc_toggles.get(variant, 0)
+    prov.rows.append(ProvenanceRow(
+        component="NOC", variant=variant, kind="toggle",
+        quantity=float(toggles),
+        price_j=noc.dynamic_j / toggles if toggles else 0.0,
+        energy_j=noc.dynamic_j))
+    prov.rows.append(ProvenanceRow(
+        component="NOC", variant=variant, kind="leakage",
+        quantity=float(stats.noc_flits), price_j=0.0,
+        energy_j=noc.leakage_j))
+    prov.components["NOC"] = noc.total_j
+
+    for name, energy_j in model.nonbvf_energies(
+            stats, include_overhead=include_overhead).items():
+        quantity = {
+            "COMPUTE": float(sum(stats.lane_ops_by_class.values())),
+            "MC": float(stats.dram_accesses),
+            "FABRIC": float(stats.used_sms),
+            "CODERS": float(stats.instructions),
+        }.get(name, 0.0)
+        prov.rows.append(ProvenanceRow(
+            component=name, variant="-", kind="activity",
+            quantity=quantity, price_j=0.0, energy_j=energy_j))
+        prov.components[name] = energy_j
+    return prov
+
+
+def variant_dynamic_matrix(stats: AppStats, model: ChipModel,
+                           cell_name: str,
+                           variants: Optional[tuple] = None) -> dict:
+    """Per-unit x per-variant dynamic SRAM energy (joules).
+
+    The side-by-side view of what each coder buys on each unit — the
+    table the paper's Figures 16/17 aggregate away.
+    """
+    from ..arch.stats import VARIANTS
+    table = energy_table(cell_name, model.tech.name, model.vdd,
+                         rows=ARRAY_ROWS)
+    matrix: Dict[str, Dict[str, float]] = {}
+    for unit in BVF_UNITS:
+        row = {}
+        for variant in (variants or VARIANTS):
+            counts = stats.unit_counts(unit, variant)
+            row[variant] = table.energy_fj(
+                counts.read0, counts.read1,
+                counts.write0, counts.write1) * 1e-15
+        matrix[unit.name] = row
+    return matrix

@@ -137,6 +137,23 @@ class ChipModel:
         return ((report.dynamic_power_w + report.static_power_w)
                 * powered * stats.active_runtime_s)
 
+    def nonbvf_energies(self, stats: AppStats,
+                        include_overhead: bool = False) -> Dict[str, float]:
+        """The BVF-insensitive components, in evaluation order.
+
+        Public so the energy-provenance layer (:mod:`repro.obs`) can
+        decompose an evaluation with the *same* calls — and therefore
+        the exact same floats — this model sums.
+        """
+        components = {
+            "COMPUTE": self._compute_energy_j(stats),
+            "MC": self._mc_energy_j(stats),
+            "FABRIC": self._fabric_energy_j(stats),
+        }
+        if include_overhead:
+            components["CODERS"] = self._coder_overhead_j(stats)
+        return components
+
     # -- full evaluations --------------------------------------------------
 
     def evaluate(self, stats: AppStats, cell_name: str,
@@ -150,11 +167,8 @@ class ChipModel:
         noc = noc_energy(stats, variant, self.tech.name, self.vdd,
                          self.config)
         chip.components["NOC"] = noc.total_j
-        chip.components["COMPUTE"] = self._compute_energy_j(stats)
-        chip.components["MC"] = self._mc_energy_j(stats)
-        chip.components["FABRIC"] = self._fabric_energy_j(stats)
-        if include_overhead:
-            chip.components["CODERS"] = self._coder_overhead_j(stats)
+        chip.components.update(
+            self.nonbvf_energies(stats, include_overhead=include_overhead))
         return chip
 
     def baseline(self, stats: AppStats) -> ChipEnergy:

@@ -24,7 +24,7 @@ from ..circuits.array import energy_table
 from ..core.spaces import Unit
 
 __all__ = ["UnitEnergy", "unit_capacity_bits", "sram_unit_energy",
-           "noc_energy", "BVF_CELL", "BASELINE_CELL"]
+           "noc_energy", "BVF_CELL", "BASELINE_CELL", "ARRAY_ROWS"]
 
 #: Cell used by the proposed design and by the baseline, respectively.
 BVF_CELL = "BVF-8T"
@@ -39,8 +39,11 @@ _NOC_WIRE_UM = 1800.0
 #: Cells per bitline in the production arrays priced by the power model.
 #: (The paper's Figure-5/6 microbenchmark uses Set=32; real register/
 #: cache subarrays share bitlines across 128 cells, with proportionally
-#: larger per-access energy.)
-_ARRAY_ROWS = 128
+#: larger per-access energy.) Public because the energy-provenance
+#: decomposition (repro.obs.provenance) must price bit counts with the
+#: *same* table this module uses.
+ARRAY_ROWS = 128
+_ARRAY_ROWS = ARRAY_ROWS
 
 
 @dataclass(frozen=True)

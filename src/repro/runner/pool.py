@@ -33,8 +33,10 @@ functions, so they pickle by reference).
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -45,6 +47,9 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs.metrics import MetricsRegistry, use_registry
+from ..obs.tracer import Tracer, use_tracer
 
 __all__ = [
     "UnitTask", "UnitTimeout", "error_report", "soft_time_limit",
@@ -187,6 +192,7 @@ class UnitTask:
     max_attempts: int = 3
     backoff_s: float = 0.5
     timeout_s: Optional[float] = None
+    observe: bool = False        # ship span tree + metrics in the record
 
 
 def run_unit_attempts(exp_id: str, app, key: str, *,
@@ -195,24 +201,37 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
                       timeout_s: Optional[float],
                       sleep: Callable[[float], None] = time.sleep,
                       on_backoff: Optional[Callable[[float], None]] = None,
-                      use_wall_clock_guard: bool = False) -> dict:
+                      use_wall_clock_guard: bool = False,
+                      observe: bool = False) -> dict:
     """Run one unit through the retry/backoff/timeout loop.
 
     Returns the checkpoint record dict (``status``/``attempts``/
-    ``wall_s``/``payload``/``error``). Exceptions from the driver are
-    isolated into the record; this function itself only raises on
-    programming errors (e.g. an unknown experiment id).
+    ``wall_s``/``unit_wall_s``/``payload``/``error``, plus ``obs`` when
+    ``observe`` is set). Exceptions from the driver are isolated into
+    the record; this function itself only raises on programming errors
+    (e.g. an unknown experiment id).
+
+    Every attempt runs under a *fresh* tracer — ``wall_s`` covers the
+    whole retry loop including backoff sleeps, while ``unit_wall_s`` is
+    the final attempt's pure driver time from its root span. With
+    ``observe`` the attempt also gets a fresh metrics registry, and the
+    record's ``obs`` payload carries only the returning attempt's span
+    tree and metric snapshot: a retried unit never double-counts the
+    half-published metrics of a failed attempt, and an abandoned
+    wall-clock-guard thread keeps writing into its own attempt's pair
+    instead of corrupting the next one's.
     """
     from ..experiments.registry import EXPERIMENTS
     driver = EXPERIMENTS[exp_id]
 
-    def _invoke():
+    def _call_driver():
         if app is not None:
             return driver(apps=[app])
         return driver()
 
     start = time.monotonic()
     error = None
+    unit_wall = 0.0
     for attempt in range(1, max_attempts + 1):
         if attempt > 1:
             delay = backoff_s * 2 ** (attempt - 2)
@@ -220,28 +239,53 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
                 on_backoff(delay)
             sleep(delay)
         seed_unit_rngs(key)
+        tracer = Tracer("unit", key=key, attempt=attempt)
+        registry = MetricsRegistry() if observe else None
+
+        def _invoke():
+            # Installed by whichever thread actually runs the driver —
+            # inline here, or the wall-clock guard's daemon thread —
+            # so instrumented layers always find the pair thread-local.
+            with use_tracer(tracer), use_registry(registry):
+                return _call_driver()
+
         try:
             if use_wall_clock_guard:
                 result = call_with_wall_clock_limit(_invoke, timeout_s)
             else:
                 with soft_time_limit(timeout_s):
                     result = _invoke()
-            return {
+            tracer.finish()
+            record = {
                 "status": "ok",
                 "attempts": attempt,
                 "wall_s": round(time.monotonic() - start, 3),
+                "unit_wall_s": round(tracer.root.wall_s, 3),
                 "payload": result.to_dict(),
                 "error": None,
             }
+            if observe:
+                record["obs"] = {"span": tracer.root.to_dict(),
+                                 "metrics": registry.to_dict()}
+            return record
         except Exception as exc:  # noqa: BLE001 — isolation is the point
+            unit_wall = tracer.finish().wall_s
+            failed_span = tracer.root.to_dict()
             error = error_report(exc)
-    return {
+    record = {
         "status": "failed",
         "attempts": max_attempts,
         "wall_s": round(time.monotonic() - start, 3),
+        "unit_wall_s": round(unit_wall, 3),
         "payload": None,
         "error": error,
     }
+    if observe:
+        # The last attempt's span tree still ships — a failed unit is
+        # when the trace matters most — but its half-published metrics
+        # do not: only successful attempts feed the merged registry.
+        record["obs"] = {"span": failed_span, "metrics": None}
+    return record
 
 
 def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
@@ -250,6 +294,11 @@ def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
     Runs in a pool worker process; the experiment driver is resolved
     from the registry by id and the per-attempt timeout uses the
     portable wall-clock guard (SIGALRM stays untouched in workers).
+
+    A one-line progress note goes to the worker's stderr (inherited
+    from the parent terminal) with the span-sourced driver duration,
+    so a watcher sees per-unit timings as they land, not only the
+    parent's completion-order summary.
     """
     record = run_unit_attempts(
         task.exp_id, task.app, task.key,
@@ -257,7 +306,11 @@ def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
         backoff_s=task.backoff_s,
         timeout_s=task.timeout_s,
         use_wall_clock_guard=True,
+        observe=task.observe,
     )
+    duration = record.get("unit_wall_s", record["wall_s"])
+    print(f"[worker {os.getpid()}] {record['status']} {task.key} "
+          f"in {duration:.3f}s", file=sys.stderr, flush=True)
     return task.key, record
 
 

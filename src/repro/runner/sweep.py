@@ -30,6 +30,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.base import ExperimentResult
 from ..experiments.registry import EXPERIMENTS, accepts_apps
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from .checkpoint import Checkpoint, unit_key
 from .pool import (UnitTask, UnitTimeout, error_report, run_unit_attempts,
                    run_units_parallel, soft_time_limit)
@@ -74,6 +76,16 @@ class SweepRunner:
         workers always use ``time.sleep``), and a callback
         ``(key, record)`` invoked after each unit is checkpointed — in
         completion order when ``jobs > 1``.
+    trace_path / metrics_path / observe:
+        Observability outputs. ``trace_path`` gets the merged span tree
+        as JSONL, ``metrics_path`` the merged metrics registry (JSON,
+        or Prometheus text for ``.prom``/``.txt``). Setting either
+        implies ``observe``; ``observe`` alone collects the artifacts
+        on ``self.tracer`` / ``self.metrics`` without writing files.
+        Per-unit payloads ride in checkpoint records and are merged in
+        sorted unit-key order, so the artifacts are deterministic at
+        any ``jobs`` count (span *structure* and metrics exactly;
+        timings are measurements).
     """
 
     def __init__(self,
@@ -86,7 +98,10 @@ class SweepRunner:
                  timeout_s: Optional[float] = None,
                  jobs: int = 1,
                  sleep: Callable[[float], None] = time.sleep,
-                 on_unit_done: Optional[Callable[[str, dict], None]] = None):
+                 on_unit_done: Optional[Callable[[str, dict], None]] = None,
+                 trace_path: Optional[str] = None,
+                 metrics_path: Optional[str] = None,
+                 observe: bool = False):
         self.experiments = list(experiments or EXPERIMENTS)
         unknown = [e for e in self.experiments if e not in EXPERIMENTS]
         if unknown:
@@ -103,6 +118,11 @@ class SweepRunner:
         self.jobs = int(jobs)
         self.sleep = sleep
         self.on_unit_done = on_unit_done
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.observe = bool(observe or trace_path or metrics_path)
+        self.tracer: Optional[Tracer] = None
+        self.metrics: Optional[MetricsRegistry] = None
         if resume:
             if checkpoint_path is None:
                 raise ValueError("resume requires a checkpoint path")
@@ -152,13 +172,18 @@ class SweepRunner:
             tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
                               max_attempts=self.max_attempts,
                               backoff_s=self.backoff_s,
-                              timeout_s=self.timeout_s)
+                              timeout_s=self.timeout_s,
+                              observe=self.observe)
                      for exp_id, app, key in todo]
             run_units_parallel(tasks, self.jobs, self._record)
         else:
             for exp_id, app, key in todo:
                 self._record(key, self._run_unit(exp_id, app, key))
-        return [self._merge(exp_id) for exp_id in self.experiments]
+        results = [self._merge(exp_id) for exp_id in self.experiments]
+        if self.observe:
+            self._assemble_obs()
+            self._write_sinks()
+        return results
 
     def _record(self, key: str, record: dict) -> None:
         """Account for one finished unit and persist it."""
@@ -179,7 +204,52 @@ class SweepRunner:
             timeout_s=self.timeout_s,
             sleep=self.sleep,
             on_backoff=self.stats.sleeps.append,
+            observe=self.observe,
         )
+
+    # -- observability ----------------------------------------------------
+
+    def _assemble_obs(self) -> None:
+        """Merge per-unit obs payloads into one tracer and one registry.
+
+        Walks checkpoint records in sorted unit-key order — never
+        submission or completion order — so the merged span-tree
+        structure and metrics snapshot are byte-identical for serial
+        and parallel sweeps. Units restored by ``--resume`` contribute
+        too: their obs payloads were persisted with their records.
+        """
+        tracer = Tracer("sweep", experiments=len(self.experiments),
+                        apps=len(self.apps), jobs=self.jobs)
+        registry = MetricsRegistry()
+        status_totals: Dict[str, int] = {}
+        for key in sorted(self.checkpoint.records):
+            record = self.checkpoint.records[key]
+            status = record.get("status", "?")
+            status_totals[status] = status_totals.get(status, 0) + 1
+            obs = record.get("obs")
+            if not obs:
+                continue
+            tracer.attach(obs["span"])
+            if obs.get("metrics") is not None:
+                # Failed units ship their span but no metrics: a timed-out
+                # attempt's half-published counters would depend on where
+                # the deadline hit, breaking snapshot determinism.
+                registry.merge(MetricsRegistry.from_dict(obs["metrics"]))
+        for status in sorted(status_totals):
+            registry.counter(
+                "sweep_units_total", {"status": status},
+                help_text="sweep units by final status").inc(
+                    status_totals[status])
+        tracer.finish()
+        self.tracer = tracer
+        self.metrics = registry
+
+    def _write_sinks(self) -> None:
+        from ..obs.report import write_metrics, write_trace_jsonl
+        if self.trace_path and self.tracer is not None:
+            write_trace_jsonl(self.tracer, self.trace_path)
+        if self.metrics_path and self.metrics is not None:
+            write_metrics(self.metrics, self.metrics_path)
 
     # -- merging ----------------------------------------------------------
 

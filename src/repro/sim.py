@@ -36,6 +36,8 @@ from .arch.engine import FunctionalResult, run_functional
 from .arch.gpu import GPUReplay
 from .arch.memory import GlobalMemory
 from .arch.stats import Encoders
+from .obs.metrics import current_registry, metric_inc
+from .obs.tracer import trace_span
 
 __all__ = ["SuiteResult", "simulate_app", "simulate_suite", "clear_caches",
            "cache_sizes"]
@@ -83,17 +85,20 @@ def _functional_pass(app, pivot_lane: int) -> tuple:
     cached = _FUNCTIONAL_CACHE.get(key)
     if cached is not None:
         return cached
-    mem = GlobalMemory(size_bytes=app.memory_bytes)
-    rng = np.random.default_rng(app.seed)
-    launches = app.build(mem, rng)
-    if not launches:
-        raise ValueError(f"app {app.name!r} produced no launches")
-    profiler = Profiler()
-    # The ISA mask does not affect phase-1 tallies (REG/SME are data
-    # units), so phase 1 runs with a placeholder mask.
-    encoders = Encoders(isa_mask=0, pivot_lane=pivot_lane)
-    result = run_functional(app.name, mem, launches, encoders,
-                            profiler=profiler)
+    with trace_span("functional", app=app.name) as span:
+        mem = GlobalMemory(size_bytes=app.memory_bytes)
+        rng = np.random.default_rng(app.seed)
+        launches = app.build(mem, rng)
+        if not launches:
+            raise ValueError(f"app {app.name!r} produced no launches")
+        profiler = Profiler()
+        # The ISA mask does not affect phase-1 tallies (REG/SME are data
+        # units), so phase 1 runs with a placeholder mask.
+        encoders = Encoders(isa_mask=0, pivot_lane=pivot_lane)
+        result = run_functional(app.name, mem, launches, encoders,
+                                profiler=profiler)
+        if span is not None:
+            span.set(launches=len(launches))
     cached = (result, profiler)
     _FUNCTIONAL_CACHE[key] = cached
     return cached
@@ -116,32 +121,64 @@ def simulate_app(app, config: GPUConfig = BASELINE_CONFIG,
     untouched: the functional execution models the computation, the
     faults model the storage it is replayed through.
     """
-    functional, profiler = _functional_pass(app, pivot_lane)
-    if isa_mask is None:
-        from .core.masks import derive_mask
-        isa_mask = derive_mask(functional.trace.static_binary)
+    with trace_span("simulate_app", app=app.name) as span:
+        functional, profiler = _functional_pass(app, pivot_lane)
+        if isa_mask is None:
+            from .core.masks import derive_mask
+            isa_mask = derive_mask(functional.trace.static_binary)
 
-    key = (app.name, pivot_lane, isa_mask, config)
-    if fault_model is None:
-        cached = _STATS_CACHE.get(key)
-        if cached is not None:
-            return cached
+        key = (app.name, pivot_lane, isa_mask, config)
+        stats = None
+        cache_hit = False
+        if fault_model is None:
+            stats = _STATS_CACHE.get(key)
+            cache_hit = stats is not None
 
-    encoders = Encoders(isa_mask=isa_mask, pivot_lane=pivot_lane)
-    replay = GPUReplay(config, encoders,
-                       fault_model=fault_model).run(functional.trace)
-    stats = build_app_stats(
-        app.name,
-        functional_tally=functional.tally,
-        replay_result=replay,
-        narrow=profiler.narrow,
-        lanes=profiler.lanes,
-        static_binary=functional.trace.static_binary,
-        freq_mhz=config.freq_mhz,
-    )
+        if stats is None:
+            encoders = Encoders(isa_mask=isa_mask, pivot_lane=pivot_lane)
+            flips_before = _fault_flip_counts(fault_model)
+            replay = GPUReplay(config, encoders,
+                               fault_model=fault_model).run(functional.trace)
+            stats = build_app_stats(
+                app.name,
+                functional_tally=functional.tally,
+                replay_result=replay,
+                narrow=profiler.narrow,
+                lanes=profiler.lanes,
+                static_binary=functional.trace.static_binary,
+                freq_mhz=config.freq_mhz,
+            )
+            _publish_fault_flips(fault_model, flips_before)
+            if fault_model is None:
+                _STATS_CACHE[key] = stats
+
+        if span is not None:
+            span.set(cycles=stats.cycles, instructions=stats.instructions,
+                     memoised=cache_hit)
+        # Published on every return — memoisation hit or cold run alike —
+        # so sweep metrics are independent of cache warmth and job count.
+        if current_registry() is not None:
+            from .obs.report import publish_app_metrics
+            publish_app_metrics(stats)
+        return stats
+
+
+def _fault_flip_counts(fault_model) -> tuple:
     if fault_model is None:
-        _STATS_CACHE[key] = stats
-    return stats
+        return (0, 0)
+    return (fault_model.array_flips, fault_model.noc_flips)
+
+
+def _publish_fault_flips(fault_model, before: tuple) -> None:
+    """Metrics for the flips this replay injected (counter deltas, so a
+    reused model's running totals are never double-counted)."""
+    if fault_model is None:
+        return
+    metric_inc("fault_flips_total",
+               fault_model.array_flips - before[0], {"site": "array"},
+               help_text="injected bit flips")
+    metric_inc("fault_flips_total",
+               fault_model.noc_flips - before[1], {"site": "noc"})
 
 
 def simulate_suite(apps: Iterable, config: GPUConfig = BASELINE_CONFIG,

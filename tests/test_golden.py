@@ -25,6 +25,7 @@ from repro.runner import Checkpoint, SweepRunner, unit_key
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 SMOKE_FIXTURE = GOLDEN_DIR / "smoke_sweep.json"
+METRICS_FIXTURE = GOLDEN_DIR / "smoke_metrics.json"
 
 #: A representative but cheap sweep: two per-app experiments (one
 #: replay-heavy, one mask-profiling) and one whole-experiment driver.
@@ -37,19 +38,30 @@ def _get_apps():
     return [get_app(name) for name in SMOKE_APPS]
 
 
-def _smoke_sweep(jobs, **kwargs) -> str:
-    runner = SweepRunner(experiments=SMOKE_EXPERIMENTS, apps=_get_apps(),
-                         jobs=jobs, **kwargs)
-    results = runner.run()
-    assert runner.stats.failed == 0, runner.failed_units
-    return canonical_json([r.to_dict() for r in results])
+#: (results_json, metrics_json) per jobs count. Determinism makes
+#: re-running a given jobs count pointless, and parallel sweeps pay a
+#: worker warm-up every time — so each count runs once per session.
+_SWEEP_CACHE = {}
+
+
+def _smoke_sweep(jobs):
+    if jobs not in _SWEEP_CACHE:
+        runner = SweepRunner(experiments=SMOKE_EXPERIMENTS,
+                             apps=_get_apps(), jobs=jobs, observe=True)
+        results = runner.run()
+        assert runner.stats.failed == 0, runner.failed_units
+        _SWEEP_CACHE[jobs] = (
+            canonical_json([r.to_dict() for r in results]),
+            canonical_json(runner.metrics.to_dict()),
+        )
+    return _SWEEP_CACHE[jobs]
 
 
 class TestGoldenSmokeSweep:
     """Serial and parallel runs of the smoke sweep, against the fixture."""
 
     def test_serial_matches_fixture(self, update_golden):
-        text = _smoke_sweep(jobs=1)
+        text, __ = _smoke_sweep(jobs=1)
         if update_golden:
             GOLDEN_DIR.mkdir(exist_ok=True)
             SMOKE_FIXTURE.write_text(text, encoding="utf-8")
@@ -64,7 +76,7 @@ class TestGoldenSmokeSweep:
                                                        update_golden):
         if update_golden:
             pytest.skip("fixture regeneration runs serially")
-        assert _smoke_sweep(jobs=jobs) == \
+        assert _smoke_sweep(jobs=jobs)[0] == \
             SMOKE_FIXTURE.read_text(encoding="utf-8")
 
     def test_interrupted_parallel_sweep_resumes_cleanly(self, tmp_path,
@@ -93,6 +105,35 @@ class TestGoldenSmokeSweep:
         assert resumed.stats.run + survived == len(resumed.plan())
         assert canonical_json([r.to_dict() for r in results]) == \
             SMOKE_FIXTURE.read_text(encoding="utf-8")
+
+
+class TestGoldenSmokeMetrics:
+    """The merged metrics registry of the same smoke sweep, pinned to a
+    fixture at every worker count.
+
+    Metrics are published from finished artifacts (never from in-flight
+    execution) and merged in sorted unit-key order, so the snapshot is
+    independent of memoisation warmth, completion order, and ``jobs``.
+    """
+
+    def test_serial_metrics_match_fixture(self, update_golden):
+        __, metrics = _smoke_sweep(jobs=1)
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            METRICS_FIXTURE.write_text(metrics, encoding="utf-8")
+            pytest.skip("metrics fixture regenerated; commit the diff")
+        assert METRICS_FIXTURE.exists(), (
+            "missing metrics fixture — generate it with "
+            "`python -m pytest tests/test_golden.py --update-golden`")
+        assert metrics == METRICS_FIXTURE.read_text(encoding="utf-8")
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_metrics_match_fixture_byte_identically(
+            self, jobs, update_golden):
+        if update_golden:
+            pytest.skip("fixture regeneration runs serially")
+        assert _smoke_sweep(jobs=jobs)[1] == \
+            METRICS_FIXTURE.read_text(encoding="utf-8")
 
 
 # ---------------------------------------------------------------------------
