@@ -13,16 +13,21 @@ Usage::
     python -m repro run all --trace t.jsonl --metrics-out m.json
     python -m repro app ATA                 # quick single-app study
     python -m repro obs report --apps ATA,VEC      # energy provenance
-    python -m repro obs tree t.jsonl        # render a trace dump
+    python -m repro obs tree t.jsonl --min-ms 5 --sort duration
+    python -m repro bench run --suite smoke        # BENCH_<ts>.json
+    python -m repro bench hotspots t.jsonl --folded out.folded
+    python -m repro bench compare old.json new.json --gate
 
 Parallel sweeps are deterministic: every unit is seeded from its
 (experiment, app) key and the merge is order-independent, so ``--jobs
 N`` produces byte-identical tables to a serial run; the merged trace
 structure and metrics snapshot are deterministic the same way.
 
-Exit codes: 0 success, 2 usage error (unknown experiment/app, missing
-resume file), 3 sweep completed but some units failed (or a provenance
-total failed to reproduce the chip model exactly).
+Exit codes: 0 success, 1 regression flagged by ``bench compare
+--gate``, 2 usage error (unknown experiment/app/suite/scenario,
+missing resume/trace/record file), 3 sweep completed but some units
+failed (or a provenance total failed to reproduce the chip model
+exactly, or a bench output sink was unwritable).
 """
 
 from __future__ import annotations
@@ -32,21 +37,26 @@ import difflib
 import sys
 
 
-def _lookup_app(name: str, known):
-    """One app by name; exit 2 with a did-you-mean hint when unknown.
+def _unknown_name(kind: str, name: str, known) -> "SystemExit":
+    """Shared did-you-mean usage error: print a hint, exit 2.
 
-    The single validation point behind every app-accepting command
-    (``run --apps``, ``obs report --apps``, ``app``), so the suggestion
-    behaviour can never drift between subcommands.
+    Every command that takes a name from a closed set — apps, bench
+    suites, bench scenarios — routes its failure through here, so the
+    suggestion behaviour can never drift between subcommands.
     """
+    close = difflib.get_close_matches(name, list(known), n=3, cutoff=0.4)
+    hint = f"; did you mean {', '.join(close)}?" if close else ""
+    print(f"unknown {kind} {name!r}{hint}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _lookup_app(name: str, known):
+    """One app by name; exit 2 with a did-you-mean hint when unknown."""
     from .kernels import get_app
     try:
         return get_app(name)
     except KeyError:
-        close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
-        hint = f"; did you mean {', '.join(close)}?" if close else ""
-        print(f"unknown app {name!r}{hint}", file=sys.stderr)
-        raise SystemExit(2)
+        raise _unknown_name("app", name, known)
 
 
 def _resolve_apps(spec):
@@ -168,17 +178,23 @@ def cmd_app(args) -> int:
 OBS_REPORT_DEFAULT_APPS = "ATA,VEC"
 
 
+def _read_trace_file(path: str):
+    """Trace JSONL text, or None after printing a usage error."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return fh.read()
+    except OSError as exc:
+        print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
+        return None
+
+
 def cmd_obs(args) -> int:
     if args.obs_command == "tree":
-        try:
-            with open(args.trace, "r", encoding="utf-8") as fh:
-                text = fh.read()
-        except OSError as exc:
-            print(f"cannot read trace {args.trace!r}: {exc}",
-                  file=sys.stderr)
+        text = _read_trace_file(args.trace)
+        if text is None:
             return 2
         from .obs.tracer import render_jsonl_tree
-        print(render_jsonl_tree(text))
+        print(render_jsonl_tree(text, min_ms=args.min_ms, sort=args.sort))
         return 0
 
     # obs report
@@ -198,6 +214,88 @@ def cmd_obs(args) -> int:
               "exactly", file=sys.stderr)
         return 3
     return 0
+
+
+def _cmd_bench_run(args) -> int:
+    from .bench import (SCENARIOS, SUITES, default_bench_path, run_suite,
+                        write_bench_record)
+    if args.suite not in SUITES:
+        raise _unknown_name("bench suite", args.suite, SUITES)
+    only = [n.strip() for n in (args.only or "").split(",") if n.strip()]
+    for name in only:
+        if name not in SCENARIOS:
+            raise _unknown_name("bench scenario", name, SCENARIOS)
+    if args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 2
+
+    def _progress(name, entry):
+        wall = entry["wall_s"]
+        print(f"  {name}: median {wall['median']:.4f}s "
+              f"(MAD {wall['mad']:.4f}s, best {wall['best']:.4f}s, "
+              f"n={args.repeats})", file=sys.stderr)
+
+    record = run_suite(args.suite, repeats=args.repeats,
+                       warmup=args.warmup, only=only or None,
+                       progress=_progress)
+    out = args.out or default_bench_path()
+    if not write_bench_record(record, out):
+        return 3
+    print(f"wrote {out} ({len(record['scenarios'])} scenarios, "
+          f"suite={args.suite})")
+    if args.baseline:
+        if not write_bench_record(record, args.baseline):
+            return 3
+        print(f"wrote baseline copy {args.baseline}")
+    return 0
+
+
+def _cmd_bench_hotspots(args) -> int:
+    from .bench import (aggregate_hotspots, folded_stacks,
+                        render_hotspot_table)
+    from .obs.report import write_text_sink
+    from .obs.tracer import jsonl_to_trees
+    text = _read_trace_file(args.trace)
+    if text is None:
+        return 2
+    roots = jsonl_to_trees(text)
+    if not roots:
+        print(f"no spans in {args.trace!r}", file=sys.stderr)
+        return 2
+    try:
+        print(render_hotspot_table(aggregate_hotspots(roots),
+                                   sort=args.sort, limit=args.limit))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.folded:
+        if not write_text_sink(args.folded, folded_stacks(roots),
+                               "folded stacks"):
+            return 3
+        print(f"wrote folded stacks to {args.folded}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from .bench import BenchRecordError, compare_paths, gate_exit_code
+    try:
+        deltas, table = compare_paths(
+            args.old, args.new, rel_threshold=args.threshold,
+            mad_k=args.mad_k, min_seconds=args.min_seconds)
+    except BenchRecordError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(table)
+    code = gate_exit_code(deltas, args.gate)
+    if code:
+        print("regression gate FAILED", file=sys.stderr)
+    return code
+
+
+def cmd_bench(args) -> int:
+    handler = {"run": _cmd_bench_run, "hotspots": _cmd_bench_hotspots,
+               "compare": _cmd_bench_compare}
+    return handler[args.bench_command](args)
 
 
 def main(argv=None) -> int:
@@ -255,10 +353,68 @@ def main(argv=None) -> int:
     tree_p = obs_sub.add_parser(
         "tree", help="render a --trace JSONL dump as an indented tree")
     tree_p.add_argument("trace", metavar="TRACE.jsonl")
+    tree_p.add_argument("--min-ms", type=float, default=None, metavar="T",
+                        help="hide spans shorter than T milliseconds "
+                             "(unfinished spans always show)")
+    tree_p.add_argument("--sort", default="start",
+                        choices=("start", "duration"),
+                        help="child order: insertion (start) or "
+                             "longest-first (duration)")
+
+    bench_p = sub.add_parser(
+        "bench", help="continuous benchmarking: run suites, attribute "
+                      "hotspots, gate regressions")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bench_run_p = bench_sub.add_parser(
+        "run", help="run a pinned scenario suite and write BENCH_*.json")
+    bench_run_p.add_argument("--suite", default="smoke",
+                             help="suite name (smoke | full)")
+    bench_run_p.add_argument("--repeats", type=int, default=3, metavar="N",
+                             help="recorded repeats per scenario "
+                                  "(default: 3; median/MAD over these)")
+    bench_run_p.add_argument("--warmup", type=int, default=1, metavar="N",
+                             help="unrecorded warmup repeats (default: 1)")
+    bench_run_p.add_argument("--only", default="", metavar="NAMES",
+                             help="comma-separated scenario subset")
+    bench_run_p.add_argument("--out", default=None, metavar="PATH",
+                             help="record path (default: "
+                                  "BENCH_<utc-timestamp>.json)")
+    bench_run_p.add_argument("--baseline", default=None, metavar="PATH",
+                             help="also write the record here (e.g. "
+                                  "benchmarks/baselines/smoke.json)")
+    hot_p = bench_sub.add_parser(
+        "hotspots", help="fold a trace JSONL dump into a per-span-name "
+                         "self/cumulative-time table")
+    hot_p.add_argument("trace", metavar="TRACE.jsonl")
+    hot_p.add_argument("--sort", default="self",
+                       choices=("self", "cum", "calls", "name"),
+                       help="row order (default: self time, descending)")
+    hot_p.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="show only the top N rows")
+    hot_p.add_argument("--folded", default=None, metavar="PATH",
+                       help="also export folded stacks for flamegraph "
+                            "tools")
+    cmp_p = bench_sub.add_parser(
+        "compare", help="diff two BENCH records with a noise-aware "
+                        "regression gate")
+    cmp_p.add_argument("old", metavar="OLD.json")
+    cmp_p.add_argument("new", metavar="NEW.json")
+    cmp_p.add_argument("--gate", action="store_true",
+                       help="exit 1 when any scenario regresses")
+    cmp_p.add_argument("--threshold", type=float, default=0.10,
+                       metavar="REL",
+                       help="relative median-shift bar (default: 0.10)")
+    cmp_p.add_argument("--mad-k", type=float, default=3.0, metavar="K",
+                       help="noise bar: shift must exceed K x MAD "
+                            "(default: 3)")
+    cmp_p.add_argument("--min-seconds", type=float, default=0.001,
+                       metavar="S",
+                       help="never gate scenarios faster than S seconds "
+                            "(default: 0.001)")
 
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "app": cmd_app,
-               "obs": cmd_obs}
+               "obs": cmd_obs, "bench": cmd_bench}
     return handler[args.command](args)
 
 

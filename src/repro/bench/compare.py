@@ -1,0 +1,167 @@
+"""Noise-aware regression gate over two BENCH_*.json records.
+
+``repro bench compare old.json new.json`` lines the two records'
+scenarios up and flags a **regression** only when the median wall-time
+shift clears *both* bars:
+
+* the **relative** bar: ``(new - old) / old > threshold`` (default
+  10%), so micro-jitter on fast scenarios never pages anyone; and
+* the **noise** bar: ``new - old > k * max(old MAD, new MAD)``
+  (default k = 3), so a shift inside the measured run-to-run spread of
+  either record is treated as noise, not signal.
+
+Scenarios faster than ``min_seconds`` on the old side are reported but
+never gated — their medians sit inside scheduler quantisation.
+Comparing a record against itself therefore always passes, and an
+injected 2x slowdown always fails: the exit-code contract CI relies on
+(0 clean, 1 regression with ``--gate``, 2 unusable records).
+
+Perf numbers are machine-relative. Gate only against a baseline
+produced on the same host; cross-host comparisons are for eyeballs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .suite import SCHEMA, SCHEMA_VERSION
+
+__all__ = ["BenchRecordError", "ScenarioDelta", "compare_records",
+           "load_bench_record", "render_compare_table"]
+
+DEFAULT_REL_THRESHOLD = 0.10
+DEFAULT_MAD_K = 3.0
+DEFAULT_MIN_SECONDS = 0.001
+
+
+class BenchRecordError(Exception):
+    """A BENCH record file is missing, malformed, or a newer schema."""
+
+
+def load_bench_record(path: str) -> dict:
+    """Load and schema-validate one BENCH_*.json record."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except OSError as exc:
+        raise BenchRecordError(f"cannot read {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchRecordError(f"{path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+        raise BenchRecordError(
+            f"{path!r} is not a {SCHEMA} record "
+            f"(schema={record.get('schema')!r})"
+            if isinstance(record, dict) else
+            f"{path!r} is not a {SCHEMA} record")
+    version = record.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
+        raise BenchRecordError(
+            f"{path!r} has schema_version {version!r}; this build "
+            f"understands <= {SCHEMA_VERSION}")
+    if not isinstance(record.get("scenarios"), dict):
+        raise BenchRecordError(f"{path!r} has no scenarios table")
+    return record
+
+
+@dataclass
+class ScenarioDelta:
+    """Verdict for one scenario name across the two records."""
+
+    name: str
+    verdict: str                 # ok | regression | improved | new |
+    #                              missing | too-fast
+    old_median: Optional[float] = None
+    new_median: Optional[float] = None
+    rel_shift: Optional[float] = None
+    noise_limit_s: Optional[float] = None   # k * max(old MAD, new MAD)
+
+    @property
+    def gates(self) -> bool:
+        return self.verdict == "regression"
+
+
+def compare_records(old: dict, new: dict,
+                    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+                    mad_k: float = DEFAULT_MAD_K,
+                    min_seconds: float = DEFAULT_MIN_SECONDS
+                    ) -> List[ScenarioDelta]:
+    """Compare two loaded BENCH records scenario by scenario.
+
+    Returns one :class:`ScenarioDelta` per scenario name seen in either
+    record, in sorted-name order.
+    """
+    old_scenarios: Dict[str, dict] = old["scenarios"]
+    new_scenarios: Dict[str, dict] = new["scenarios"]
+    deltas: List[ScenarioDelta] = []
+    for name in sorted(set(old_scenarios) | set(new_scenarios)):
+        if name not in old_scenarios:
+            deltas.append(ScenarioDelta(name, "new"))
+            continue
+        if name not in new_scenarios:
+            deltas.append(ScenarioDelta(name, "missing"))
+            continue
+        old_wall = old_scenarios[name]["wall_s"]
+        new_wall = new_scenarios[name]["wall_s"]
+        old_median = float(old_wall["median"])
+        new_median = float(new_wall["median"])
+        shift = new_median - old_median
+        rel = shift / old_median if old_median > 0 else 0.0
+        noise_limit = mad_k * max(float(old_wall.get("mad", 0.0)),
+                                  float(new_wall.get("mad", 0.0)))
+        delta = ScenarioDelta(name, "ok", old_median=old_median,
+                              new_median=new_median, rel_shift=rel,
+                              noise_limit_s=noise_limit)
+        if old_median < min_seconds:
+            delta.verdict = "too-fast"
+        elif rel > rel_threshold and shift > noise_limit:
+            delta.verdict = "regression"
+        elif rel < -rel_threshold and -shift > noise_limit:
+            delta.verdict = "improved"
+        deltas.append(delta)
+    return deltas
+
+
+def render_compare_table(deltas: List[ScenarioDelta],
+                         rel_threshold: float = DEFAULT_REL_THRESHOLD,
+                         mad_k: float = DEFAULT_MAD_K) -> str:
+    """Human summary of a comparison, one line per scenario."""
+    header = (f"{'scenario':<18} {'old(s)':>10} {'new(s)':>10} "
+              f"{'shift':>8} {'noise<=':>9}  verdict")
+    lines = [header, "-" * len(header)]
+    for d in deltas:
+        if d.old_median is None or d.new_median is None:
+            lines.append(f"{d.name:<18} {'-':>10} {'-':>10} {'-':>8} "
+                         f"{'-':>9}  {d.verdict}")
+            continue
+        verdict = d.verdict.upper() if d.gates else d.verdict
+        lines.append(
+            f"{d.name:<18} {d.old_median:>10.4f} {d.new_median:>10.4f} "
+            f"{d.rel_shift:>+7.1%} {d.noise_limit_s:>8.4f}s  {verdict}")
+    regressions = sum(1 for d in deltas if d.gates)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{regressions} regression(s) at >{rel_threshold:.0%} median "
+        f"shift AND >{mad_k:g}x MAD noise floor")
+    return "\n".join(lines)
+
+
+def gate_exit_code(deltas: List[ScenarioDelta], gate: bool) -> int:
+    """0 when clean (or not gating), 1 when gating with regressions."""
+    if gate and any(d.gates for d in deltas):
+        return 1
+    return 0
+
+
+def compare_paths(old_path: str, new_path: str, *,
+                  rel_threshold: float = DEFAULT_REL_THRESHOLD,
+                  mad_k: float = DEFAULT_MAD_K,
+                  min_seconds: float = DEFAULT_MIN_SECONDS
+                  ) -> Tuple[List[ScenarioDelta], str]:
+    """Load, compare, and render two record files in one call."""
+    old = load_bench_record(old_path)
+    new = load_bench_record(new_path)
+    deltas = compare_records(old, new, rel_threshold=rel_threshold,
+                             mad_k=mad_k, min_seconds=min_seconds)
+    return deltas, render_compare_table(deltas, rel_threshold, mad_k)

@@ -1,0 +1,300 @@
+"""The ``repro bench run`` harness: pinned scenarios -> BENCH_*.json.
+
+A *scenario* is one timed body, run best-of-N with warmup under a
+fresh tracer per repeat. The suite covers the three kinds of hot path
+the ROADMAP cares about:
+
+* **sweeps** — the resilient runner end to end (serial and ``--jobs
+  2/4``), which is what ``repro run all`` users actually pay for;
+* **replay** — one cold ``simulate_app`` (caches cleared inside the
+  timed body), the simulator's single hottest call;
+* **micro** — the :mod:`repro.core.bitutils` kernels (popcount, NoC
+  toggle counting, bit-plane histograms) that every tally and coder
+  reduces to.
+
+Per scenario the record stores median and MAD of wall and CPU time
+over the repeats (plus best and the raw samples), the process peak RSS
+after the scenario, and a **stage breakdown**: the per-span-name self/
+cumulative-time aggregate of the *median* repeat's trace, whose self
+times sum to that repeat's wall time (the telescoping invariant of
+:mod:`repro.bench.hotspots`) — so every BENCH record can answer
+"where did the time go", not only "how long did it take".
+
+Records are schema-versioned (:data:`SCHEMA`, :data:`SCHEMA_VERSION`)
+and written as canonical JSON to ``BENCH_<utc-timestamp>.json`` by
+default; :mod:`repro.bench.compare` consumes them for the noise-aware
+regression gate. Perf numbers are machine-relative: only compare
+records produced on the same host.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..obs.resources import peak_rss_bytes
+from ..obs.tracer import Tracer, trace_span, use_tracer
+from .hotspots import aggregate_hotspots
+
+__all__ = ["SCHEMA", "SCHEMA_VERSION", "SCENARIOS", "SUITES", "Scenario",
+           "default_bench_path", "run_scenario", "run_suite",
+           "write_bench_record"]
+
+SCHEMA = "repro-bench"
+SCHEMA_VERSION = 1
+
+#: Experiments/apps of the benchmark sweeps — the golden-smoke pair,
+#: so a best-of-3 run answers in tens of seconds, not hours.
+BENCH_SWEEP_EXPERIMENTS = ["fig09"]
+BENCH_SWEEP_APPS = ("ATA", "VEC")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, pinned benchmark body."""
+
+    name: str
+    description: str
+    run: Callable[[], None]       # executed under an ambient tracer
+
+
+# ---------------------------------------------------------------------------
+# Scenario bodies (heavy imports stay inside: `import repro.bench` must
+# not drag the whole simulator in)
+# ---------------------------------------------------------------------------
+
+def _bench_apps():
+    from ..kernels import get_app
+    return [get_app(name) for name in BENCH_SWEEP_APPS]
+
+
+def _sweep_body(jobs: int) -> Callable[[], None]:
+    def run() -> None:
+        from ..runner import SweepRunner
+        with trace_span("build_runner"):
+            runner = SweepRunner(experiments=BENCH_SWEEP_EXPERIMENTS,
+                                 apps=_bench_apps(), jobs=jobs,
+                                 observe=True)
+        runner.run()
+        if runner.stats.failed:
+            raise RuntimeError(
+                f"benchmark sweep had failed units: {runner.failed_units}")
+    return run
+
+
+def _replay_body(app_name: str) -> Callable[[], None]:
+    def run() -> None:
+        from ..kernels import get_app
+        from ..sim import clear_caches, simulate_app
+        with trace_span("clear_caches"):
+            clear_caches()
+        simulate_app(get_app(app_name))
+    return run
+
+
+def _micro_popcount() -> None:
+    import numpy as np
+    from ..core.bitutils import popcount32, popcount64
+    with trace_span("setup") as span:
+        rng = np.random.default_rng(2017)
+        w32 = rng.integers(0, 2**32, 1 << 17, dtype=np.uint32)
+        w64 = rng.integers(0, 2**63, 1 << 16, dtype=np.uint64)
+        if span is not None:
+            span.set(words32=int(w32.size), words64=int(w64.size))
+    with trace_span("popcount32"):
+        for __ in range(32):
+            popcount32(w32)
+    with trace_span("popcount64"):
+        for __ in range(32):
+            popcount64(w64)
+
+
+def _micro_toggles() -> None:
+    import numpy as np
+    from ..core.bitutils import pack_flits, toggles_between
+    with trace_span("setup"):
+        rng = np.random.default_rng(2017)
+        payloads = [rng.integers(0, 256, 4096, dtype=np.uint8)
+                    for __ in range(16)]
+    with trace_span("pack_and_toggle"):
+        for payload in payloads:
+            flits = pack_flits(payload, 32)
+            for i in range(1, len(flits)):
+                toggles_between(flits[i - 1], flits[i])
+
+
+def _micro_bitplanes() -> None:
+    import numpy as np
+    from ..core.bitutils import bit_plane_counts, hamming_distance
+    with trace_span("setup"):
+        rng = np.random.default_rng(2017)
+        w64 = rng.integers(0, 2**63, 1 << 14, dtype=np.uint64)
+        a = rng.integers(0, 2**32, 1 << 16, dtype=np.uint32)
+        b = rng.integers(0, 2**32, 1 << 16, dtype=np.uint32)
+    with trace_span("bit_plane_counts"):
+        for __ in range(8):
+            bit_plane_counts(w64, bits=64)
+    with trace_span("hamming_distance"):
+        for __ in range(32):
+            hamming_distance(a, b)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s for s in (
+        Scenario("sweep-serial",
+                 "warm-cache smoke sweep in-process: runner overhead "
+                 "(retry loop, checkpoint, obs assembly)",
+                 _sweep_body(jobs=1)),
+        Scenario("sweep-jobs2",
+                 "warm-cache smoke sweep on a 2-worker pool: dispatch "
+                 "+ record-shipping overhead",
+                 _sweep_body(jobs=2)),
+        Scenario("sweep-jobs4",
+                 "warm-cache smoke sweep on a 4-worker pool: dispatch "
+                 "+ record-shipping overhead",
+                 _sweep_body(jobs=4)),
+        Scenario("replay-ATA",
+                 "cold end-to-end simulate_app(ATA), caches cleared",
+                 _replay_body("ATA")),
+        Scenario("replay-VEC",
+                 "cold end-to-end simulate_app(VEC), caches cleared",
+                 _replay_body("VEC")),
+        Scenario("micro-popcount",
+                 "bitutils popcount32/64 over pinned word arrays",
+                 _micro_popcount),
+        Scenario("micro-toggles",
+                 "bitutils pack_flits + consecutive-flit toggle counting",
+                 _micro_toggles),
+        Scenario("micro-bitplanes",
+                 "bitutils bit-plane histograms + hamming distances",
+                 _micro_bitplanes),
+    )
+}
+
+#: Suite -> ordered scenario names. ``smoke`` is the CI/gate suite.
+SUITES: Dict[str, List[str]] = {
+    "smoke": ["sweep-serial", "sweep-jobs2", "replay-ATA",
+              "micro-popcount", "micro-toggles", "micro-bitplanes"],
+    "full": list(SCENARIOS),
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+def _spread(samples: Sequence[float]) -> dict:
+    """Median / MAD / best / raw samples of one measurement series."""
+    median = statistics.median(samples)
+    mad = statistics.median([abs(s - median) for s in samples])
+    return {"median": round(median, 6), "mad": round(mad, 6),
+            "best": round(min(samples), 6),
+            "samples": [round(s, 6) for s in samples]}
+
+
+def _median_index(samples: Sequence[float]) -> int:
+    """Index of the sample the median corresponds to (lower middle)."""
+    order = sorted(range(len(samples)), key=lambda i: samples[i])
+    return order[(len(samples) - 1) // 2]
+
+
+def run_scenario(scenario: Scenario, repeats: int = 3,
+                 warmup: int = 1) -> dict:
+    """Run one scenario best-of-N; return its BENCH record entry."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for __ in range(max(0, warmup)):
+        with use_tracer(Tracer(scenario.name)):
+            scenario.run()
+    walls: List[float] = []
+    cpus: List[float] = []
+    tracers: List[Tracer] = []
+    for __ in range(repeats):
+        tracer = Tracer(scenario.name)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        with use_tracer(tracer):
+            scenario.run()
+        walls.append(time.perf_counter() - wall0)
+        cpus.append(time.process_time() - cpu0)
+        tracer.finish()
+        tracers.append(tracer)
+
+    # Stage breakdown from the median repeat, so the stages explain the
+    # number the gate compares. Self times sum to the repeat's wall
+    # (hotspots' telescoping invariant); the root row is the harness/
+    # untraced remainder.
+    idx = _median_index(walls)
+    report = aggregate_hotspots(tracers[idx])
+    stages = {
+        name: {"calls": spot.calls,
+               "self_wall_s": round(spot.self_wall_s, 6),
+               "self_cpu_s": round(spot.self_cpu_s, 6),
+               "cum_wall_s": round(spot.cum_wall_s, 6)}
+        for name, spot in sorted(report.hotspots.items())
+    }
+    return {
+        "description": scenario.description,
+        "wall_s": _spread(walls),
+        "cpu_s": _spread(cpus),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "stages": stages,
+        "stages_wall_s": round(walls[idx], 6),
+    }
+
+
+def run_suite(suite: str = "smoke", repeats: int = 3, warmup: int = 1,
+              only: Optional[Sequence[str]] = None,
+              progress: Optional[Callable[[str, dict], None]] = None
+              ) -> dict:
+    """Run a suite's scenarios; return the full BENCH record dict.
+
+    ``only`` restricts to a subset of the suite's scenario names
+    (unknown names raise ``KeyError`` — the CLI maps that to a
+    did-you-mean usage error). ``progress(name, entry)`` fires after
+    each scenario.
+    """
+    names = list(SUITES[suite])
+    if only:
+        unknown = [n for n in only if n not in SCENARIOS]
+        if unknown:
+            raise KeyError(f"unknown scenarios: {unknown}")
+        names = [n for n in names if n in set(only)]
+    record = {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "repeats": repeats,
+        "warmup": warmup,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scenarios": {},
+    }
+    for name in names:
+        entry = run_scenario(SCENARIOS[name], repeats=repeats,
+                             warmup=warmup)
+        record["scenarios"][name] = entry
+        if progress is not None:
+            progress(name, entry)
+    return record
+
+
+def default_bench_path() -> str:
+    """``BENCH_<utc-timestamp>.json`` in the current directory."""
+    return time.strftime("BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime())
+
+
+def write_bench_record(record: dict, path: str) -> bool:
+    """Write a BENCH record as canonical JSON (best-effort sink)."""
+    from ..experiments.base import canonical_json
+    from ..obs.report import write_text_sink
+    return write_text_sink(path, canonical_json(record), "bench record")

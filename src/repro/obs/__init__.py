@@ -21,10 +21,11 @@ CLI: ``repro obs report`` (provenance tables), ``repro obs tree``
 """
 
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
-                      current_registry, metric_inc, metric_observe,
-                      metric_set, use_registry)
-from .tracer import (Span, Tracer, current_tracer, render_jsonl_tree,
-                     trace_event, trace_span, use_tracer)
+                      VOLATILE_METRIC_FAMILIES, current_registry,
+                      metric_inc, metric_observe, metric_set, use_registry)
+from .resources import peak_rss_bytes
+from .tracer import (Span, Tracer, current_tracer, jsonl_to_trees,
+                     render_jsonl_tree, trace_event, trace_span, use_tracer)
 
 # provenance/report pull in the power and analysis layers; loading them
 # lazily keeps `import repro.obs` cheap enough for the arch hot layers
@@ -56,10 +57,10 @@ def __dir__():
 
 __all__ = [
     "Span", "Tracer", "current_tracer", "use_tracer", "trace_span",
-    "trace_event", "render_jsonl_tree",
+    "trace_event", "jsonl_to_trees", "render_jsonl_tree",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "current_registry", "use_registry", "metric_inc", "metric_set",
-    "metric_observe",
+    "VOLATILE_METRIC_FAMILIES", "current_registry", "use_registry",
+    "metric_inc", "metric_set", "metric_observe", "peak_rss_bytes",
     "ACCESS_KINDS", "ProvenanceRow", "EnergyProvenance",
     "build_provenance", "variant_dynamic_matrix",
     "publish_app_metrics", "write_text_sink", "write_trace_jsonl",

@@ -30,8 +30,15 @@ from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "current_registry", "use_registry", "metric_inc",
-           "metric_observe", "metric_set"]
+           "VOLATILE_METRIC_FAMILIES", "current_registry", "use_registry",
+           "metric_inc", "metric_observe", "metric_set"]
+
+#: Families whose values are honest measurements of the *host* rather
+#: than of the simulated workload (memory high-water marks, timings).
+#: They merge deterministically — gauges take the max — but their
+#: values vary run to run, so byte-identity fixtures (the golden
+#: suite) must drop them before comparing snapshots.
+VOLATILE_METRIC_FAMILIES = ("unit_peak_rss_bytes",)
 
 _LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -259,12 +266,19 @@ class MetricsRegistry:
         return registry
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Conformance points the scrape parsers actually reject: ``HELP``
+        text escapes backslash and newline; label values additionally
+        escape the double quote; histograms emit *cumulative* buckets
+        ending in the mandatory ``+Inf`` bucket (equal to ``_count``)
+        plus ``_sum``/``_count`` series.
+        """
         lines: List[str] = []
         for name in sorted(self._families):
             family = self._families[name]
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key in sorted(family.series):
                 metric = family.series[key]
@@ -286,10 +300,21 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the exposition format: ``\\`` and LF."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping: backslash, double quote, and LF."""
+    return (value.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
 def _render_labels(key: _LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 

@@ -1,0 +1,37 @@
+"""Process resource probes for the observability layer.
+
+One concern: reading the process's peak resident set size in a way
+that is portable, cheap, and *graceful* — platforms without the
+``resource`` module (e.g. Windows) simply report ``None``, mirroring
+the degrade-don't-crash contract of the sinks and timeout guards.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+__all__ = ["peak_rss_bytes"]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process in bytes, or ``None``.
+
+    ``getrusage(RUSAGE_SELF).ru_maxrss`` is kilobytes on Linux and
+    bytes on macOS; both are normalised to bytes here. The value is a
+    process-lifetime high-water mark — it only ever grows — which is
+    exactly the semantics of a max-merged gauge.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    try:
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (OSError, ValueError):  # pragma: no cover - exotic libc
+        return None
+    if rss <= 0:  # pragma: no cover - kernel reported nothing useful
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - bytes already
+        return int(rss)
+    return int(rss) * 1024

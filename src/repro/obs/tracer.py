@@ -39,7 +39,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["Span", "Tracer", "current_tracer", "use_tracer", "trace_span",
-           "trace_event", "render_jsonl_tree"]
+           "trace_event", "jsonl_to_trees", "render_jsonl_tree"]
 
 
 class Span:
@@ -193,27 +193,106 @@ class Tracer:
         return "\n".join(lines)
 
 
-def render_jsonl_tree(text: str) -> str:
-    """Re-render a trace JSONL dump as the human tree summary."""
-    lines = []
+def jsonl_to_trees(text: str) -> List[dict]:
+    """Rebuild nested span trees from a trace JSONL dump.
+
+    Returns a list of root nodes (a merged sweep trace has one; the
+    format permits several) in :meth:`Span.to_dict` shape, so the same
+    consumers — the tree renderer, the hotspot profiler — work on live
+    tracers and on dumps alike. Lines of other ``type`` values are
+    skipped, and a truncated trailing line (a killed run) is ignored
+    rather than fatal.
+    """
+    roots: List[dict] = []
+    stack: List[Tuple[int, dict]] = []   # (depth, node) of open ancestry
     for raw in text.splitlines():
         raw = raw.strip()
         if not raw:
             continue
-        rec = json.loads(raw)
+        try:
+            rec = json.loads(raw)
+        except json.JSONDecodeError:
+            continue   # readable-prefix contract: tolerate a torn tail
         if rec.get("type") != "span":
             continue
-        wall = rec.get("wall_s")
-        wall = "?" if wall is None else f"{wall:.3f}s"
-        cpu = rec.get("cpu_s")
-        cpu = "" if cpu is None else f" cpu={cpu:.3f}s"
-        attrs = rec.get("attrs") or {}
-        suffix = ""
-        if attrs:
-            pairs = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
-            suffix = f"  [{pairs}]"
-        lines.append(f"{'  ' * rec.get('depth', 0)}{rec['name']}  "
-                     f"{wall}{cpu}{suffix}")
+        depth = int(rec.get("depth", 0))
+        node = {"name": rec.get("name", "?"),
+                "attrs": rec.get("attrs") or {},
+                "wall_s": rec.get("wall_s"),
+                "cpu_s": rec.get("cpu_s"),
+                "events": rec.get("events") or [],
+                "children": []}
+        while stack and stack[-1][0] >= depth:
+            stack.pop()
+        if stack:
+            stack[-1][1]["children"].append(node)
+        else:
+            roots.append(node)
+        stack.append((depth, node))
+    return roots
+
+
+def _span_line(node: dict, depth: int) -> str:
+    wall = node.get("wall_s")
+    wall = "?" if wall is None else f"{wall:.3f}s"
+    cpu = node.get("cpu_s")
+    cpu = "" if cpu is None else f" cpu={cpu:.3f}s"
+    attrs = node.get("attrs") or {}
+    suffix = ""
+    if attrs:
+        pairs = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        suffix = f"  [{pairs}]"
+    return f"{'  ' * depth}{node['name']}  {wall}{cpu}{suffix}"
+
+
+def _count_nodes(node: dict) -> int:
+    return 1 + sum(_count_nodes(c) for c in node.get("children", []))
+
+
+def _has_unfinished(node: dict) -> bool:
+    return node.get("wall_s") is None or any(
+        _has_unfinished(c) for c in node.get("children", []))
+
+
+def render_jsonl_tree(text: str, min_ms: Optional[float] = None,
+                      sort: str = "start") -> str:
+    """Re-render a trace JSONL dump as the human tree summary.
+
+    ``min_ms`` hides spans (and their subtrees) shorter than the given
+    wall-clock threshold — unfinished spans (``wall_s`` null) always
+    stay visible — and reports how many were hidden. ``sort`` is
+    ``"start"`` (insertion order, the default) or ``"duration"``
+    (children sorted longest-first at every level).
+    """
+    if sort not in ("start", "duration"):
+        raise ValueError(f"sort must be 'start' or 'duration', not {sort!r}")
+    roots = jsonl_to_trees(text)
+    hidden = {"n": 0}
+    lines: List[str] = []
+
+    def _emit(node: dict, depth: int) -> None:
+        wall = node.get("wall_s")
+        # A subtree holding an unfinished span survives the threshold:
+        # those spans are where a killed run died, the one place the
+        # tree matters most, and their true duration is unknown anyway.
+        if (min_ms is not None and wall is not None
+                and wall * 1000.0 < min_ms and not _has_unfinished(node)):
+            hidden["n"] += _count_nodes(node)
+            return
+        lines.append(_span_line(node, depth))
+        children = node.get("children", [])
+        if sort == "duration":
+            children = sorted(
+                children,
+                key=lambda c: -1.0 if c.get("wall_s") is None
+                else c["wall_s"], reverse=True)
+        for child in children:
+            _emit(child, depth + 1)
+
+    for root in roots:
+        _emit(root, 0)
+    if hidden["n"]:
+        lines.append(f"({hidden['n']} spans under {min_ms:g} ms hidden)")
     return "\n".join(lines)
 
 

@@ -49,6 +49,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..obs.metrics import MetricsRegistry, use_registry
+from ..obs.resources import peak_rss_bytes
 from ..obs.tracer import Tracer, use_tracer
 
 __all__ = [
@@ -265,6 +266,18 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
                 "error": None,
             }
             if observe:
+                # Memory rides the same deterministic merge as every
+                # other metric: the gauge max-merges across units, so
+                # the sweep-level value is the hungriest process's
+                # high-water mark. Graceful None on platforms without
+                # getrusage; the golden suite strips this family
+                # (VOLATILE_METRIC_FAMILIES) before byte comparisons.
+                rss = peak_rss_bytes()
+                if rss is not None:
+                    registry.gauge(
+                        "unit_peak_rss_bytes",
+                        help_text="peak RSS of the process that ran "
+                                  "the unit").set(rss)
                 record["obs"] = {"span": tracer.root.to_dict(),
                                  "metrics": registry.to_dict()}
             return record

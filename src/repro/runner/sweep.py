@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..experiments.base import ExperimentResult
 from ..experiments.registry import EXPERIMENTS, accepts_apps
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracer import Tracer
+from ..obs.tracer import Tracer, trace_span
 from .checkpoint import Checkpoint, unit_key
 from .pool import (UnitTask, UnitTimeout, error_report, run_unit_attempts,
                    run_units_parallel, soft_time_limit)
@@ -166,23 +166,36 @@ class SweepRunner:
     # -- execution --------------------------------------------------------
 
     def run(self) -> List[ExperimentResult]:
-        """Execute the sweep; return merged results in experiment order."""
-        todo = self.pending()
-        if self.jobs > 1 and len(todo) > 1:
-            tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
-                              max_attempts=self.max_attempts,
-                              backoff_s=self.backoff_s,
-                              timeout_s=self.timeout_s,
-                              observe=self.observe)
-                     for exp_id, app, key in todo]
-            run_units_parallel(tasks, self.jobs, self._record)
-        else:
-            for exp_id, app, key in todo:
-                self._record(key, self._run_unit(exp_id, app, key))
-        results = [self._merge(exp_id) for exp_id in self.experiments]
+        """Execute the sweep; return merged results in experiment order.
+
+        Each phase — planning, unit execution, result merge, obs
+        assembly — runs inside a ``trace_span``, so a caller that
+        installs an ambient tracer (the benchmark harness, a profiling
+        session) gets the runner's stage timings for free; with no
+        tracer installed the spans are no-ops.
+        """
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        with trace_span("sweep_plan"):
+            todo = self.pending()
+        with trace_span("sweep_execute", units=len(todo), jobs=self.jobs):
+            if self.jobs > 1 and len(todo) > 1:
+                tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
+                                  max_attempts=self.max_attempts,
+                                  backoff_s=self.backoff_s,
+                                  timeout_s=self.timeout_s,
+                                  observe=self.observe)
+                         for exp_id, app, key in todo]
+                run_units_parallel(tasks, self.jobs, self._record)
+            else:
+                for exp_id, app, key in todo:
+                    self._record(key, self._run_unit(exp_id, app, key))
+        with trace_span("sweep_merge"):
+            results = [self._merge(exp_id) for exp_id in self.experiments]
         if self.observe:
-            self._assemble_obs()
-            self._write_sinks()
+            with trace_span("sweep_obs"):
+                self._assemble_obs()
+                self._write_sinks()
         return results
 
     def _record(self, key: str, record: dict) -> None:
@@ -217,6 +230,13 @@ class SweepRunner:
         structure and metrics snapshot are byte-identical for serial
         and parallel sweeps. Units restored by ``--resume`` contribute
         too: their obs payloads were persisted with their records.
+
+        The merged root span's wall/CPU time is the sweep's *actual*
+        elapsed time (measured from :meth:`run`), not the assembly
+        duration — so hotspot self-times reconcile against it: at
+        ``--jobs 1`` the root's self time is the runner's own overhead,
+        and at ``--jobs N`` it goes negative by exactly the workers'
+        wall-clock overlap.
         """
         tracer = Tracer("sweep", experiments=len(self.experiments),
                         apps=len(self.apps), jobs=self.jobs)
@@ -240,9 +260,39 @@ class SweepRunner:
                 "sweep_units_total", {"status": status},
                 help_text="sweep units by final status").inc(
                     status_totals[status])
+        # Stamp the true sweep duration onto the root before finish()
+        # (which only fills in durations that are still unset). CPU
+        # time is the parent process's: worker CPU lives in the unit
+        # spans themselves.
+        wall0 = getattr(self, "_wall0", None)
+        if wall0 is not None:
+            tracer.root.wall_s = time.perf_counter() - wall0
+            tracer.root.cpu_s = time.process_time() - self._cpu0
         tracer.finish()
         self.tracer = tracer
         self.metrics = registry
+
+    def stage_timings(self) -> Dict[str, dict]:
+        """Per-span-name timing aggregates of the merged trace.
+
+        Requires an observed run (``observe``/``trace_path``/
+        ``metrics_path``); returns ``{}`` before :meth:`run` or on an
+        unobserved runner. Keys are span names (``unit``,
+        ``simulate_app``, ``replay``, ...); values carry ``calls``,
+        ``self_wall_s``, ``cum_wall_s`` and ``self_cpu_s`` as computed
+        by :func:`repro.bench.hotspots.aggregate_hotspots`.
+        """
+        if self.tracer is None:
+            return {}
+        from ..bench.hotspots import aggregate_hotspots
+        report = aggregate_hotspots(self.tracer)
+        return {
+            name: {"calls": spot.calls,
+                   "self_wall_s": spot.self_wall_s,
+                   "cum_wall_s": spot.cum_wall_s,
+                   "self_cpu_s": spot.self_cpu_s}
+            for name, spot in sorted(report.hotspots.items())
+        }
 
     def _write_sinks(self) -> None:
         from ..obs.report import write_metrics, write_trace_jsonl

@@ -1,0 +1,486 @@
+"""Tests for the continuous-benchmarking subsystem (:mod:`repro.bench`).
+
+Three layers, matching the module split:
+
+* **hotspots** — folding span trees into per-name self/cumulative
+  aggregates, with the telescoping invariant (sum of self times ==
+  root wall, exactly, even with negative parallel-overlap entries) and
+  the nested-same-name no-double-count rule;
+* **suite** — the best-of-N harness and the BENCH record shape,
+  including "stages explain the measured wall" within tolerance;
+* **compare** — the noise-aware regression gate's verdict table and
+  the CLI exit-code contract CI relies on (0 clean / 1 regression /
+  2 unusable records or usage / 3 unwritable sink).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (SCENARIOS, SUITES, BenchRecordError, Hotspot,
+                         ScenarioDelta, Scenario, aggregate_hotspots,
+                         compare_records, folded_stacks, gate_exit_code,
+                         load_bench_record, render_compare_table,
+                         render_hotspot_table, run_scenario, run_suite)
+from repro.bench.suite import SCHEMA, SCHEMA_VERSION
+from repro.obs.tracer import Tracer, jsonl_to_trees, trace_span
+
+
+def _node(name, wall, cpu=None, children=(), attrs=None):
+    """A span node in Span.to_dict shape with explicit timings."""
+    return {"name": name, "wall_s": wall,
+            "cpu_s": wall if cpu is None else cpu,
+            "attrs": attrs or {}, "events": [], "children": list(children)}
+
+
+# ---------------------------------------------------------------------------
+# Hotspot aggregation
+# ---------------------------------------------------------------------------
+
+class TestAggregateHotspots:
+    def test_self_times_telescope_to_root_wall(self):
+        tree = _node("root", 2.0, children=[
+            _node("a", 1.2, children=[_node("b", 0.5)]),
+            _node("c", 0.3),
+        ])
+        report = aggregate_hotspots(tree)
+        assert report.root_wall_s == 2.0
+        assert report.hotspots["root"].self_wall_s == pytest.approx(0.5)
+        assert report.hotspots["a"].self_wall_s == pytest.approx(0.7)
+        assert report.total_self_wall_s == pytest.approx(2.0, abs=1e-12)
+        assert report.span_count == 4
+
+    def test_nested_same_name_spans_do_not_double_count(self):
+        """a(1.0) > a(0.6) > b(0.2): self(a) totals 0.8 across both
+        occurrences, but cum(a) counts only the outermost window."""
+        tree = _node("a", 1.0, children=[
+            _node("a", 0.6, children=[_node("b", 0.2)]),
+        ])
+        report = aggregate_hotspots(tree)
+        a = report.hotspots["a"]
+        assert a.calls == 2
+        assert a.self_wall_s == pytest.approx(0.8)
+        assert a.cum_wall_s == pytest.approx(1.0)      # not 1.6
+        assert report.hotspots["b"].cum_wall_s == pytest.approx(0.2)
+        assert report.total_self_wall_s == pytest.approx(1.0)
+
+    def test_parallel_overlap_yields_negative_self_but_exact_total(self):
+        """A merged 2-worker trace: children's summed wall exceeds the
+        root's, so the root's self time goes negative by the overlap —
+        and the telescoped total still equals the root wall exactly."""
+        tree = _node("sweep", 1.0, children=[
+            _node("unit", 0.8), _node("unit", 0.8),
+        ])
+        report = aggregate_hotspots(tree)
+        assert report.hotspots["sweep"].self_wall_s == pytest.approx(-0.6)
+        assert report.total_self_wall_s == pytest.approx(1.0, abs=1e-12)
+
+    def test_unclosed_span_contributes_zero_self_but_children_count(self):
+        """A killed run's torn span (wall_s null) must not crash the
+        fold: it counts as unclosed, adds nothing itself, and its
+        finished children are still attributed."""
+        tree = _node("root", 1.0, children=[
+            {"name": "attempt", "wall_s": None, "cpu_s": None,
+             "attrs": {}, "events": [],
+             "children": [_node("replay", 0.4)]},
+        ])
+        report = aggregate_hotspots(tree)
+        attempt = report.hotspots["attempt"]
+        assert attempt.unclosed == 1 and attempt.calls == 1
+        assert attempt.self_wall_s == 0.0
+        assert report.hotspots["replay"].self_wall_s == pytest.approx(0.4)
+        # the torn span breaks exact telescoping by its children's wall
+        assert report.total_self_wall_s == pytest.approx(1.4)
+
+    def test_instructions_summed_at_outermost_occurrence_only(self):
+        tree = _node("root", 1.0, children=[
+            _node("replay", 0.5, attrs={"instructions": 100}, children=[
+                _node("replay", 0.2, attrs={"instructions": 100}),
+            ]),
+            _node("replay", 0.25, attrs={"instructions": 60}),
+        ])
+        report = aggregate_hotspots(tree)
+        replay = report.hotspots["replay"]
+        assert replay.instructions == 160            # inner 100 ignored
+        assert replay.instructions_per_s == pytest.approx(160 / 0.75)
+        assert Hotspot("idle").instructions_per_s is None
+
+    def test_accepts_tracer_span_dict_and_root_list(self):
+        tracer = Tracer("root")
+        with tracer.span("work"):
+            pass
+        tracer.finish()
+        by_tracer = aggregate_hotspots(tracer)
+        by_span = aggregate_hotspots(tracer.root)
+        by_dict = aggregate_hotspots(tracer.root.to_dict())
+        by_list = aggregate_hotspots([tracer.root.to_dict()])
+        for report in (by_tracer, by_span, by_dict, by_list):
+            assert set(report.hotspots) == {"root", "work"}
+            assert report.root_wall_s == by_tracer.root_wall_s
+
+    def test_jsonl_roundtrip_matches_live_aggregation(self):
+        tracer = Tracer("root")
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        tracer.finish()
+        live = aggregate_hotspots(tracer)
+        replayed = aggregate_hotspots(jsonl_to_trees(tracer.to_jsonl()))
+        assert set(replayed.hotspots) == set(live.hotspots)
+        # JSONL rounds timings to 6 decimals
+        assert replayed.total_self_wall_s == \
+            pytest.approx(live.total_self_wall_s, abs=1e-5)
+        assert replayed.total_self_wall_s == \
+            pytest.approx(replayed.root_wall_s, abs=1e-5)
+
+    def test_sorted_orders_and_rejects_unknown_key(self):
+        tree = _node("root", 1.0, children=[
+            _node("slow", 0.7), _node("fast", 0.1), _node("fast", 0.1),
+        ])
+        report = aggregate_hotspots(tree)
+        assert [h.name for h in report.sorted("self")][0] == "slow"
+        assert [h.name for h in report.sorted("calls")][0] == "fast"
+        assert [h.name for h in report.sorted("name")] == \
+            ["fast", "root", "slow"]
+        with pytest.raises(ValueError, match="sort"):
+            report.sorted("walltime")
+
+
+class TestFoldedStacks:
+    def test_paths_weighted_by_self_microseconds(self):
+        tree = _node("root", 1.0, children=[
+            _node("a", 0.4, children=[_node("b", 0.1)]),
+        ])
+        lines = dict(line.rsplit(" ", 1)
+                     for line in folded_stacks(tree).splitlines())
+        assert lines == {"root": "600000", "root;a": "300000",
+                         "root;a;b": "100000"}
+
+    def test_negative_self_clamps_and_semicolons_escape(self):
+        tree = _node("merge;point", 1.0, children=[
+            _node("u", 0.8), _node("u", 0.8),
+        ])
+        text = folded_stacks(tree)
+        assert "merge:point;u 1600000" in text
+        assert "merge:point " not in text       # clamped to 0 -> dropped
+        assert folded_stacks(_node("x", None)) == ""
+
+
+class TestRenderHotspotTable:
+    def _report(self):
+        return aggregate_hotspots(_node("root", 2.0, children=[
+            _node("replay", 1.5, attrs={"instructions": 3_000_000}),
+        ]))
+
+    def test_table_rows_footer_and_throughput(self):
+        text = render_hotspot_table(self._report())
+        assert "span" in text and "kinst/s" in text
+        assert "2000.00" in text        # 3M inst / 1.5s = 2000 kinst/s
+        assert "root wall 2.0000s" in text
+        assert "self-time total 2.0000s" in text
+
+    def test_limit_and_unclosed_annotation(self):
+        report = aggregate_hotspots(_node("root", 1.0, children=[
+            {"name": "torn", "wall_s": None, "cpu_s": None,
+             "attrs": {}, "events": [], "children": []},
+        ]))
+        text = render_hotspot_table(report)
+        assert "(1 unclosed)" in text
+        full = render_hotspot_table(self._report())
+        limited = render_hotspot_table(self._report(), limit=1)
+        assert len(limited.splitlines()) == len(full.splitlines()) - 1
+
+    def test_parallel_ratio_line_only_on_parallel_traces(self):
+        serial = render_hotspot_table(self._report())
+        assert "worker-time/wall" not in serial
+        merged = aggregate_hotspots(_node("sweep", 1.0, children=[
+            _node("unit", 0.9), _node("unit", 0.9),
+        ]))
+        assert "worker-time/wall ratio 1.80x" in \
+            render_hotspot_table(merged)
+
+
+# ---------------------------------------------------------------------------
+# Benchmark harness
+# ---------------------------------------------------------------------------
+
+def _spin(seconds):
+    import time
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < seconds:
+        pass
+
+
+def _toy_scenario():
+    def body():
+        with trace_span("phase_a"):
+            _spin(0.004)
+        with trace_span("phase_b"):
+            _spin(0.002)
+    return Scenario("toy", "two spun phases", body)
+
+
+class TestRunScenario:
+    def test_entry_shape_and_spread_fields(self):
+        entry = run_scenario(_toy_scenario(), repeats=3, warmup=1)
+        for series in (entry["wall_s"], entry["cpu_s"]):
+            assert set(series) == {"median", "mad", "best", "samples"}
+            assert len(series["samples"]) == 3
+            assert series["best"] <= series["median"]
+            assert series["median"] in series["samples"]
+        assert entry["description"] == "two spun phases"
+        assert entry["wall_s"]["median"] >= 0.006
+
+    def test_stages_explain_the_measured_wall(self):
+        """The stage breakdown's self times must sum (within harness
+        overhead tolerance) to the wall the gate will compare."""
+        entry = run_scenario(_toy_scenario(), repeats=3, warmup=0)
+        stage_sum = sum(s["self_wall_s"] for s in entry["stages"].values())
+        assert stage_sum == pytest.approx(entry["stages_wall_s"], abs=0.02)
+        assert set(entry["stages"]) == {"toy", "phase_a", "phase_b"}
+        assert entry["stages"]["phase_a"]["calls"] == 1
+        assert entry["stages"]["phase_a"]["self_wall_s"] >= 0.003
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_scenario(_toy_scenario(), repeats=0)
+
+
+class TestRunSuite:
+    def test_record_schema_and_host_stamp(self, monkeypatch):
+        monkeypatch.setitem(SUITES, "toy", ["toy"])
+        monkeypatch.setitem(SCENARIOS, "toy", _toy_scenario())
+        record = run_suite("toy", repeats=2, warmup=0)
+        assert record["schema"] == SCHEMA == "repro-bench"
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert record["suite"] == "toy" and record["repeats"] == 2
+        assert set(record["host"]) == \
+            {"platform", "machine", "python", "cpu_count"}
+        assert set(record["scenarios"]) == {"toy"}
+
+    def test_only_filters_and_rejects_unknown_names(self, monkeypatch):
+        monkeypatch.setitem(SUITES, "toy", ["toy"])
+        monkeypatch.setitem(SCENARIOS, "toy", _toy_scenario())
+        seen = []
+        record = run_suite("toy", repeats=1, warmup=0, only=["toy"],
+                           progress=lambda name, entry: seen.append(name))
+        assert seen == ["toy"] and "toy" in record["scenarios"]
+        with pytest.raises(KeyError, match="sweep-serail"):
+            run_suite("smoke", only=["sweep-serail"])
+
+    def test_smoke_suite_covers_the_three_hot_paths(self):
+        names = SUITES["smoke"]
+        assert any(n.startswith("sweep-") for n in names)
+        assert any(n.startswith("replay-") for n in names)
+        assert any(n.startswith("micro-") for n in names)
+        assert set(SUITES["smoke"]) <= set(SUITES["full"]) == set(SCENARIOS)
+
+    def test_real_micro_scenario_stage_sum_acceptance(self):
+        """Acceptance slice of the full-suite property on a real (but
+        cheap) pinned scenario: the BENCH entry's stage breakdown sums
+        to the measured wall within tolerance."""
+        record = run_suite("smoke", repeats=1, warmup=0,
+                           only=["micro-toggles"])
+        entry = record["scenarios"]["micro-toggles"]
+        stage_sum = sum(s["self_wall_s"] for s in entry["stages"].values())
+        assert stage_sum == pytest.approx(entry["stages_wall_s"], abs=0.02)
+        assert entry["stages"]["pack_and_toggle"]["calls"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Noise-aware comparison
+# ---------------------------------------------------------------------------
+
+def _bench_record(scenarios):
+    """Minimal valid BENCH record with {name: (median, mad)} walls."""
+    return {
+        "schema": SCHEMA, "schema_version": SCHEMA_VERSION,
+        "suite": "smoke", "repeats": 3, "warmup": 1,
+        "created_utc": "2026-01-01T00:00:00Z", "host": {},
+        "scenarios": {
+            name: {"wall_s": {"median": median, "mad": mad,
+                              "best": median, "samples": [median] * 3},
+                   "cpu_s": {"median": median, "mad": mad,
+                             "best": median, "samples": [median] * 3}}
+            for name, (median, mad) in scenarios.items()
+        },
+    }
+
+
+class TestCompareRecords:
+    def test_identical_records_always_pass(self):
+        record = _bench_record({"a": (0.5, 0.01), "b": (2.0, 0.1)})
+        deltas = compare_records(record, record)
+        assert [d.verdict for d in deltas] == ["ok", "ok"]
+        assert gate_exit_code(deltas, gate=True) == 0
+
+    def test_two_x_slowdown_gates(self):
+        old = _bench_record({"a": (0.5, 0.01)})
+        new = _bench_record({"a": (1.0, 0.01)})
+        (delta,) = compare_records(old, new)
+        assert delta.verdict == "regression" and delta.gates
+        assert delta.rel_shift == pytest.approx(1.0)
+        assert gate_exit_code([delta], gate=True) == 1
+        assert gate_exit_code([delta], gate=False) == 0
+
+    def test_shift_inside_noise_floor_is_not_flagged(self):
+        """+20% median shift, but both records are so noisy (MAD ~0.1s)
+        that 3x MAD swallows it: verdict stays ok."""
+        old = _bench_record({"a": (0.5, 0.10)})
+        new = _bench_record({"a": (0.6, 0.02)})
+        (delta,) = compare_records(old, new)
+        assert delta.verdict == "ok"
+        assert delta.noise_limit_s == pytest.approx(0.3)
+
+    def test_large_improvement_is_reported_not_gated(self):
+        old = _bench_record({"a": (1.0, 0.01)})
+        new = _bench_record({"a": (0.4, 0.01)})
+        (delta,) = compare_records(old, new)
+        assert delta.verdict == "improved" and not delta.gates
+
+    def test_sub_millisecond_scenarios_never_gate(self):
+        old = _bench_record({"a": (0.0004, 0.0)})
+        new = _bench_record({"a": (0.004, 0.0)})   # 10x slower
+        (delta,) = compare_records(old, new)
+        assert delta.verdict == "too-fast"
+        assert gate_exit_code([delta], gate=True) == 0
+
+    def test_new_and_missing_scenarios(self):
+        old = _bench_record({"a": (0.5, 0.01), "gone": (0.5, 0.01)})
+        new = _bench_record({"a": (0.5, 0.01), "added": (0.5, 0.01)})
+        verdicts = {d.name: d.verdict for d in compare_records(old, new)}
+        assert verdicts == {"a": "ok", "added": "new", "gone": "missing"}
+
+    def test_render_table_uppercases_gating_verdicts(self):
+        old = _bench_record({"a": (0.5, 0.01)})
+        new = _bench_record({"a": (1.5, 0.01)})
+        table = render_compare_table(compare_records(old, new))
+        assert "REGRESSION" in table and "1 regression(s)" in table
+        assert "+200.0%" in table
+
+
+class TestLoadBenchRecord:
+    def test_loads_written_record(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(_bench_record({"a": (0.5, 0.01)})),
+                        encoding="utf-8")
+        record = load_bench_record(str(path))
+        assert record["scenarios"]["a"]["wall_s"]["median"] == 0.5
+
+    @pytest.mark.parametrize("payload,match", [
+        ("not json {", "not valid JSON"),
+        (json.dumps({"schema": "other", "schema_version": 1,
+                     "scenarios": {}}), "is not a repro-bench record"),
+        (json.dumps({"schema": SCHEMA,
+                     "schema_version": SCHEMA_VERSION + 1,
+                     "scenarios": {}}), "schema_version"),
+        (json.dumps({"schema": SCHEMA, "schema_version": SCHEMA_VERSION}),
+         "no scenarios table"),
+        (json.dumps([1, 2]), "is not a repro-bench record"),
+    ])
+    def test_rejects_unusable_records(self, tmp_path, payload, match):
+        path = tmp_path / "bad.json"
+        path.write_text(payload, encoding="utf-8")
+        with pytest.raises(BenchRecordError, match=match):
+            load_bench_record(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchRecordError, match="cannot read"):
+            load_bench_record(str(tmp_path / "absent.json"))
+
+
+# ---------------------------------------------------------------------------
+# CLI (exit-code contract)
+# ---------------------------------------------------------------------------
+
+class TestBenchCli:
+    def _run_record(self, tmp_path, capsys):
+        from repro.__main__ import main
+        out = tmp_path / "bench.json"
+        assert main(["bench", "run", "--only", "micro-toggles",
+                     "--repeats", "1", "--warmup", "0",
+                     "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        return out
+
+    def test_run_writes_schema_versioned_record(self, tmp_path, capsys):
+        out = self._run_record(tmp_path, capsys)
+        record = load_bench_record(str(out))
+        assert record["schema_version"] == SCHEMA_VERSION
+        assert set(record["scenarios"]) == {"micro-toggles"}
+
+    def test_run_baseline_copy_and_self_compare_passes(
+            self, tmp_path, capsys):
+        from repro.__main__ import main
+        out = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "run", "--only", "micro-toggles",
+                     "--repeats", "1", "--warmup", "0",
+                     "--out", str(out), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", str(baseline), str(out),
+                     "--gate"]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_slowdown_fails_the_gate(self, tmp_path, capsys):
+        from repro.__main__ import main
+        out = self._run_record(tmp_path, capsys)
+        slowed = json.loads(out.read_text(encoding="utf-8"))
+        wall = slowed["scenarios"]["micro-toggles"]["wall_s"]
+        for field in ("median", "best"):
+            wall[field] *= 2.0
+        wall["samples"] = [s * 2.0 for s in wall["samples"]]
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slowed), encoding="utf-8")
+        assert main(["bench", "compare", str(out), str(slow_path),
+                     "--gate"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression gate FAILED" in captured.err
+        # without --gate the same comparison only reports
+        assert main(["bench", "compare", str(out), str(slow_path)]) == 0
+
+    def test_unknown_suite_and_scenario_suggest(self, capsys):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "run", "--suite", "smok"])
+        assert excinfo.value.code == 2
+        assert "did you mean smoke" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "run", "--only", "micro-togles"])
+        assert excinfo.value.code == 2
+        assert "did you mean micro-toggles" in capsys.readouterr().err
+
+    def test_compare_unusable_record_is_usage_error(self, tmp_path,
+                                                    capsys):
+        from repro.__main__ import main
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert main(["bench", "compare", str(bad), str(bad)]) == 2
+        assert "repro-bench" in capsys.readouterr().err
+
+    def test_hotspots_renders_and_exports_folded(self, tmp_path, capsys):
+        from repro.__main__ import main
+        tracer = Tracer("sweep")
+        with tracer.span("unit", key="fig09::VEC"):
+            with tracer.span("simulate_app") as span:
+                span.set(instructions=1000)
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(tracer.to_jsonl(), encoding="utf-8")
+        folded = tmp_path / "t.folded"
+        assert main(["bench", "hotspots", str(trace),
+                     "--folded", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "root wall" in out and "unit" in out
+        assert "sweep;unit;simulate_app" in \
+            folded.read_text(encoding="utf-8")
+
+    def test_hotspots_missing_or_empty_trace_is_usage_error(
+            self, tmp_path, capsys):
+        from repro.__main__ import main
+        assert main(["bench", "hotspots",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["bench", "hotspots", str(empty)]) == 2
+        assert "no spans" in capsys.readouterr().err

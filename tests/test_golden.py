@@ -21,6 +21,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.experiments import ExperimentResult, canonical_json
+from repro.obs.metrics import VOLATILE_METRIC_FAMILIES
 from repro.runner import Checkpoint, SweepRunner, unit_key
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -38,10 +39,21 @@ def _get_apps():
     return [get_app(name) for name in SMOKE_APPS]
 
 
-#: (results_json, metrics_json) per jobs count. Determinism makes
-#: re-running a given jobs count pointless, and parallel sweeps pay a
-#: worker warm-up every time — so each count runs once per session.
+#: (results_json, metrics_json, trace_root_dict) per jobs count.
+#: Determinism makes re-running a given jobs count pointless, and
+#: parallel sweeps pay a worker warm-up every time — so each count
+#: runs once per session.
 _SWEEP_CACHE = {}
+
+
+def _deterministic_metrics(registry) -> str:
+    """Registry snapshot minus host-measurement families (peak RSS):
+    those merge deterministically but *measure* non-deterministically,
+    so byte-identity fixtures must not see them."""
+    snapshot = registry.to_dict()
+    for family in VOLATILE_METRIC_FAMILIES:
+        snapshot["families"].pop(family, None)
+    return canonical_json(snapshot)
 
 
 def _smoke_sweep(jobs):
@@ -52,7 +64,8 @@ def _smoke_sweep(jobs):
         assert runner.stats.failed == 0, runner.failed_units
         _SWEEP_CACHE[jobs] = (
             canonical_json([r.to_dict() for r in results]),
-            canonical_json(runner.metrics.to_dict()),
+            _deterministic_metrics(runner.metrics),
+            runner.tracer.root.to_dict(),
         )
     return _SWEEP_CACHE[jobs]
 
@@ -61,7 +74,7 @@ class TestGoldenSmokeSweep:
     """Serial and parallel runs of the smoke sweep, against the fixture."""
 
     def test_serial_matches_fixture(self, update_golden):
-        text, __ = _smoke_sweep(jobs=1)
+        text = _smoke_sweep(jobs=1)[0]
         if update_golden:
             GOLDEN_DIR.mkdir(exist_ok=True)
             SMOKE_FIXTURE.write_text(text, encoding="utf-8")
@@ -117,7 +130,7 @@ class TestGoldenSmokeMetrics:
     """
 
     def test_serial_metrics_match_fixture(self, update_golden):
-        __, metrics = _smoke_sweep(jobs=1)
+        metrics = _smoke_sweep(jobs=1)[1]
         if update_golden:
             GOLDEN_DIR.mkdir(exist_ok=True)
             METRICS_FIXTURE.write_text(metrics, encoding="utf-8")
@@ -134,6 +147,45 @@ class TestGoldenSmokeMetrics:
             pytest.skip("fixture regeneration runs serially")
         assert _smoke_sweep(jobs=jobs)[1] == \
             METRICS_FIXTURE.read_text(encoding="utf-8")
+
+
+class TestHotspotReconciliation:
+    """Hotspot self-times must telescope to the trace's root wall time
+    at any worker count (the invariant ``repro bench hotspots`` leans
+    on), and the structural aggregates must be jobs-invariant."""
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_self_time_totals_telescope_to_root_wall(self, jobs,
+                                                     update_golden):
+        if update_golden:
+            pytest.skip("fixture regeneration runs serially")
+        from repro.bench import aggregate_hotspots
+        report = aggregate_hotspots(_smoke_sweep(jobs=jobs)[2])
+        assert report.span_count > 0
+        assert report.total_self_wall_s == \
+            pytest.approx(report.root_wall_s, rel=1e-9, abs=1e-9)
+
+    def test_structural_aggregates_match_across_jobs(self, update_golden):
+        """Unit counts and instruction volumes are the same whether
+        the trace was built serially or merged from 4 workers.
+
+        Deeper structure (``replay``/``functional`` sub-spans) is
+        legitimately warmth-dependent — memoised units skip them — so
+        the jobs-invariant skeleton is: one ``unit`` span per planned
+        unit, one ``simulate_app`` span per per-app unit, and the same
+        total warp-instruction volume attributed to them."""
+        if update_golden:
+            pytest.skip("fixture regeneration runs serially")
+        from repro.bench import aggregate_hotspots
+        serial = aggregate_hotspots(_smoke_sweep(jobs=1)[2])
+        merged = aggregate_hotspots(_smoke_sweep(jobs=4)[2])
+        for name in ("unit", "simulate_app"):
+            assert serial.hotspots[name].calls == \
+                merged.hotspots[name].calls, name
+            assert serial.hotspots[name].unclosed == 0, name
+            assert merged.hotspots[name].unclosed == 0, name
+        assert serial.hotspots["simulate_app"].instructions == \
+            merged.hotspots["simulate_app"].instructions > 0
 
 
 # ---------------------------------------------------------------------------

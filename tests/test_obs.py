@@ -423,3 +423,179 @@ class TestObsCli:
         from repro.__main__ import main
         assert main(["obs", "tree", str(tmp_path / "absent.jsonl")]) == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Trace-tree filtering and sorting (obs tree --min-ms / --sort)
+# ---------------------------------------------------------------------------
+
+def _span_jsonl(rows):
+    """Hand-built trace JSONL from (depth, name, wall_s) rows, so tests
+    control durations exactly."""
+    return "\n".join(
+        json.dumps({"type": "span", "depth": depth, "name": name,
+                    "wall_s": wall, "cpu_s": wall, "attrs": {},
+                    "events": []})
+        for depth, name, wall in rows) + "\n"
+
+
+class TestRenderJsonlTreeFilters:
+    _TEXT = _span_jsonl([
+        (0, "sweep", 0.100),
+        (1, "slow_unit", 0.080),
+        (2, "blink", 0.001),
+        (1, "fast_unit", 0.002),
+        (1, "torn", None),
+    ])
+
+    def test_min_ms_hides_subtrees_and_reports_count(self):
+        out = render_jsonl_tree(self._TEXT, min_ms=5)
+        assert "slow_unit" in out
+        assert "blink" not in out and "fast_unit" not in out
+        assert "(2 spans under 5 ms hidden)" in out
+
+    def test_unfinished_spans_always_stay_visible(self):
+        """Even above-threshold pruning keeps torn spans (that's where
+        a killed run died) and their ancestors for context."""
+        out = render_jsonl_tree(self._TEXT, min_ms=1000)
+        assert "torn" in out and "?" in out
+        assert "sweep" in out          # ancestor of the torn span
+        assert "slow_unit" not in out  # finished and under threshold
+        assert "(3 spans under 1000 ms hidden)" in out
+
+    def test_sort_duration_orders_children_longest_first(self):
+        text = _span_jsonl([
+            (0, "root", 1.0),
+            (1, "short", 0.01),
+            (1, "long", 0.50),
+            (1, "open", None),
+        ])
+        lines = render_jsonl_tree(text, sort="duration").splitlines()
+        assert [l.split()[0] for l in lines] == \
+            ["root", "long", "short", "open"]
+        # default keeps insertion (start) order
+        lines = render_jsonl_tree(text).splitlines()
+        assert [l.split()[0] for l in lines] == \
+            ["root", "short", "long", "open"]
+
+    def test_unknown_sort_key_raises(self):
+        with pytest.raises(ValueError, match="sort"):
+            render_jsonl_tree(self._TEXT, sort="wall")
+
+    def test_cli_flags_reach_the_renderer(self, tmp_path, capsys):
+        from repro.__main__ import main
+        path = tmp_path / "t.jsonl"
+        path.write_text(self._TEXT, encoding="utf-8")
+        assert main(["obs", "tree", str(path), "--min-ms", "5",
+                     "--sort", "duration"]) == 0
+        out = capsys.readouterr().out
+        assert "slow_unit" in out and "blink" not in out
+        assert "hidden" in out
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition conformance
+# ---------------------------------------------------------------------------
+
+def _parse_prometheus(text):
+    """Minimal 0.0.4 exposition parser: {(name, labelkey): float}.
+
+    Deliberately strict about the grammar (quoted label values, escape
+    sequences) so the test fails if the renderer emits anything a real
+    scraper would reject.
+    """
+    samples = {}
+    unescape = {"\\\\": "\\", '\\"': '"', "\\n": "\n"}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = re.fullmatch(r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                             r"(?:\{(.*)\})? (\S+)", line)
+        assert match, f"unparseable exposition line: {line!r}"
+        name, raw_labels, value = match.groups()
+        labels = []
+        if raw_labels:
+            for part in re.findall(
+                    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"',
+                    raw_labels):
+                key, escaped = part
+                unescaped = re.sub(r'\\[\\"n]',
+                                   lambda m: unescape[m.group(0)], escaped)
+                labels.append((key, unescaped))
+        samples[(name, tuple(sorted(labels)))] = float(value)
+    return samples
+
+
+class TestPrometheusConformance:
+    def test_help_type_and_histogram_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("flits_total", help_text="data flits").inc(3)
+        reg.histogram("sizes", bounds=(10, 100)).observe(5)
+        reg.histogram("sizes", bounds=(10, 100)).observe(5000)
+        prom = reg.to_prometheus()
+        assert "# HELP flits_total data flits" in prom
+        assert "# TYPE flits_total counter" in prom
+        assert "# TYPE sizes histogram" in prom
+        samples = _parse_prometheus(prom)
+        # buckets are cumulative and the mandatory +Inf equals _count
+        assert samples[("sizes_bucket", (("le", "10"),))] == 1
+        assert samples[("sizes_bucket", (("le", "100"),))] == 1
+        assert samples[("sizes_bucket", (("le", "+Inf"),))] == 2
+        assert samples[("sizes_count", ())] == 2
+        assert samples[("sizes_sum", ())] == 5005
+
+    def test_label_values_escape_and_roundtrip(self):
+        """Quote, backslash, and newline in a label value must survive
+        render -> strict parse unchanged."""
+        hostile = 'quo"te\\back\nline'
+        reg = MetricsRegistry()
+        reg.counter("c", {"app": hostile}).inc(7)
+        reg.gauge("g", help_text="multi\nline \\help").set(2)
+        prom = reg.to_prometheus()
+        assert "\n# TYPE g gauge" in prom
+        assert r"# HELP g multi\nline \\help" in prom
+        samples = _parse_prometheus(prom)
+        assert samples[("c", (("app", hostile),))] == 7
+        # every physical line is still one sample or comment: the raw
+        # newline never leaked into the body
+        assert len(prom.splitlines()) == 5
+        assert all(l.startswith("#") or _parse_prometheus(l + "\n")
+                   for l in prom.splitlines())
+
+    def test_merged_sweep_registry_is_scrapable(self):
+        from repro.runner import SweepRunner
+        runner = SweepRunner(experiments=["sec3.1-leakage"], observe=True)
+        runner.run()
+        samples = _parse_prometheus(runner.metrics.to_prometheus())
+        assert samples[("sweep_units_total", (("status", "ok"),))] == 1
+
+
+# ---------------------------------------------------------------------------
+# Peak-RSS gauge
+# ---------------------------------------------------------------------------
+
+class TestPeakRssGauge:
+    def test_peak_rss_probe_returns_plausible_bytes(self):
+        from repro.obs.resources import peak_rss_bytes
+        rss = peak_rss_bytes()
+        if rss is None:
+            pytest.skip("resource module unavailable on this platform")
+        # a CPython process with numpy loaded sits well above 10 MB and
+        # (sanely) below 1 TB; catches unit mix-ups (KB vs bytes)
+        assert 10 * 1024 * 1024 < rss < 1 << 40
+
+    def test_sweep_publishes_unit_peak_rss_gauge(self):
+        from repro.obs.resources import peak_rss_bytes
+        from repro.runner import SweepRunner
+        if peak_rss_bytes() is None:
+            pytest.skip("resource module unavailable on this platform")
+        runner = SweepRunner(experiments=["sec3.1-leakage"], observe=True)
+        runner.run()
+        value = runner.metrics.value("unit_peak_rss_bytes")
+        assert value is not None and value > 10 * 1024 * 1024
+
+    def test_rss_family_is_declared_volatile(self):
+        """The golden byte-identity suite strips exactly this family;
+        keep the declaration and the publisher in sync."""
+        from repro.obs.metrics import VOLATILE_METRIC_FAMILIES
+        assert "unit_peak_rss_bytes" in VOLATILE_METRIC_FAMILIES
