@@ -14,59 +14,39 @@ Usage::
     python -m repro app ATA                 # quick single-app study
     python -m repro obs report --apps ATA,VEC      # energy provenance
     python -m repro obs tree t.jsonl --min-ms 5 --sort duration
+    python -m repro obs report --metrics m.json     # histogram summary
     python -m repro bench run --suite smoke        # BENCH_<ts>.json
     python -m repro bench hotspots t.jsonl --folded out.folded
     python -m repro bench compare old.json new.json --gate
+    python -m repro fidelity run --scale smoke     # FIDELITY_<ts>.json
+    python -m repro fidelity report --markdown     # EXPERIMENTS.md table
+    python -m repro fidelity compare old.json new.json --gate
 
 Parallel sweeps are deterministic: every unit is seeded from its
 (experiment, app) key and the merge is order-independent, so ``--jobs
 N`` produces byte-identical tables to a serial run; the merged trace
-structure and metrics snapshot are deterministic the same way.
+structure, metrics snapshot and fidelity scorecard are deterministic
+the same way.
 
-Exit codes: 0 success, 1 regression flagged by ``bench compare
---gate``, 2 usage error (unknown experiment/app/suite/scenario,
-missing resume/trace/record file), 3 sweep completed but some units
-failed (or a provenance total failed to reproduce the chip model
-exactly, or a bench output sink was unwritable).
+Exit codes: 0 success, 1 regression flagged by a ``--gate`` (``bench
+compare``, ``fidelity compare``, or a calibrated-claim failure under
+``fidelity run --gate``), 2 usage error (unknown experiment/app/
+suite/scenario/scale, missing resume/trace/record file), 3 sweep
+completed but some units failed (or a provenance total failed to
+reproduce the chip model exactly, or an output sink was unwritable).
 """
 
 from __future__ import annotations
 
 import argparse
-import difflib
 import sys
 
-
-def _unknown_name(kind: str, name: str, known) -> "SystemExit":
-    """Shared did-you-mean usage error: print a hint, exit 2.
-
-    Every command that takes a name from a closed set — apps, bench
-    suites, bench scenarios — routes its failure through here, so the
-    suggestion behaviour can never drift between subcommands.
-    """
-    close = difflib.get_close_matches(name, list(known), n=3, cutoff=0.4)
-    hint = f"; did you mean {', '.join(close)}?" if close else ""
-    print(f"unknown {kind} {name!r}{hint}", file=sys.stderr)
-    return SystemExit(2)
-
-
-def _lookup_app(name: str, known):
-    """One app by name; exit 2 with a did-you-mean hint when unknown."""
-    from .kernels import get_app
-    try:
-        return get_app(name)
-    except KeyError:
-        raise _unknown_name("app", name, known)
-
-
-def _resolve_apps(spec):
-    """Parse a comma-separated app spec; exit 2 with suggestions if bad."""
-    if not spec:
-        return None
-    from .kernels import all_apps
-    known = [app.name for app in all_apps()]
-    return [_lookup_app(name, known)
-            for name in (n.strip() for n in spec.split(",")) if name]
+# Shared did-you-mean helpers: every subcommand that takes a name from
+# a closed set resolves it here (repro/cli_util.py), so the suggestion
+# behaviour and exit-2 contract can never drift between subcommands.
+from .cli_util import (lookup_app as _lookup_app,
+                       resolve_apps as _resolve_apps,
+                       unknown_name as _unknown_name)
 
 
 def cmd_list(_args) -> int:
@@ -133,9 +113,11 @@ def cmd_run(args) -> int:
     from .experiments import EXPERIMENTS, accepts_apps, run_experiment
     apps = _resolve_apps(args.apps)
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; "
-              f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
-        return 2
+        # Same did-you-mean hint as every other name lookup, but this
+        # path returns rather than raises: `run` predates the shared
+        # helper and callers rely on the plain return code.
+        return _unknown_name("experiment", args.experiment,
+                             EXPERIMENTS).code
 
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
@@ -198,6 +180,19 @@ def cmd_obs(args) -> int:
         return 0
 
     # obs report
+    if args.metrics:
+        import json
+        from .obs.report import render_metrics_summary
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as fh:
+                snapshot = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read metrics snapshot {args.metrics!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(render_metrics_summary(snapshot))
+        return 0
+
     from .obs.report import provenance_report
     apps = _resolve_apps(args.apps or OBS_REPORT_DEFAULT_APPS)
     json_out = [] if args.json else None
@@ -298,6 +293,104 @@ def cmd_bench(args) -> int:
     return handler[args.bench_command](args)
 
 
+def _fidelity_scale(name: str):
+    from .fidelity import SCALES
+    if name not in SCALES:
+        raise _unknown_name("fidelity scale", name, SCALES)
+    return SCALES[name]
+
+
+def _run_fidelity_record(scale_name: str, jobs: int):
+    """Run one scale and build its record; None after a usage error."""
+    from .fidelity import build_record, evaluate_claims, run_scale
+    scale = _fidelity_scale(scale_name)
+    if jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return None
+
+    done = {"n": 0}
+
+    def _progress(key, record):
+        done["n"] += 1
+        print(f"  [{done['n']}] {record['status']} {key} "
+              f"({record['wall_s']}s)", file=sys.stderr)
+
+    artifacts, failed = run_scale(scale, jobs=jobs,
+                                  on_unit_done=_progress)
+    return build_record(evaluate_claims(artifacts), scale.name,
+                        failed_units=failed)
+
+
+def _cmd_fidelity_run(args) -> int:
+    from .fidelity import (default_fidelity_path, render_scorecard,
+                           write_fidelity_record)
+    record = _run_fidelity_record(args.scale, args.jobs)
+    if record is None:
+        return 2
+    print(render_scorecard(record))
+    out = args.out or default_fidelity_path()
+    if not write_fidelity_record(record, out):
+        return 3
+    print(f"wrote {out} ({len(record['claims'])} claims, "
+          f"scale={record['scale']})")
+    if args.baseline:
+        if not write_fidelity_record(record, args.baseline):
+            return 3
+        print(f"wrote baseline copy {args.baseline}")
+    if record["failed_units"]:
+        for key in record["failed_units"]:
+            print(f"  failed unit: {key}", file=sys.stderr)
+        return 3
+    if args.gate:
+        broken = [claim_id
+                  for claim_id, entry in record["claims"].items()
+                  if entry["calibrated"] and entry["verdict"] == "fail"]
+        if broken:
+            print(f"calibrated claim(s) FAILED: {', '.join(sorted(broken))}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_fidelity_report(args) -> int:
+    from .fidelity import (FidelityRecordError, load_fidelity_record,
+                           render_markdown, render_scorecard)
+    if args.record:
+        try:
+            record = load_fidelity_record(args.record)
+        except FidelityRecordError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        record = _run_fidelity_record(args.scale, args.jobs)
+        if record is None:
+            return 2
+    print(render_markdown(record) if args.markdown
+          else render_scorecard(record))
+    return 0
+
+
+def _cmd_fidelity_compare(args) -> int:
+    from .fidelity import (FidelityRecordError, compare_fidelity_paths,
+                           gate_exit_code)
+    try:
+        deltas, table = compare_fidelity_paths(args.old, args.new)
+    except FidelityRecordError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(table)
+    code = gate_exit_code(deltas, args.gate)
+    if code:
+        print("fidelity drift gate FAILED", file=sys.stderr)
+    return code
+
+
+def cmd_fidelity(args) -> int:
+    handler = {"run": _cmd_fidelity_run, "report": _cmd_fidelity_report,
+               "compare": _cmd_fidelity_compare}
+    return handler[args.fidelity_command](args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -350,6 +443,10 @@ def main(argv=None) -> int:
                           help="technology node (default: 40nm)")
     report_p.add_argument("--json", default=None, metavar="PATH",
                           help="also export the provenance rows as JSON")
+    report_p.add_argument("--metrics", default=None, metavar="PATH",
+                          help="instead summarise a --metrics-out JSON "
+                               "snapshot (histograms show count/sum/"
+                               "p50/p95/p99)")
     tree_p = obs_sub.add_parser(
         "tree", help="render a --trace JSONL dump as an indented tree")
     tree_p.add_argument("trace", metavar="TRACE.jsonl")
@@ -412,9 +509,56 @@ def main(argv=None) -> int:
                        help="never gate scenarios faster than S seconds "
                             "(default: 0.001)")
 
+    fid_p = sub.add_parser(
+        "fidelity", help="paper-fidelity scorecard: machine-checked "
+                         "claims registry with drift tracking")
+    fid_sub = fid_p.add_subparsers(dest="fidelity_command", required=True)
+    fid_run_p = fid_sub.add_parser(
+        "run", help="evaluate the claims registry and write "
+                    "FIDELITY_*.json")
+    fid_run_p.add_argument("--scale", default="smoke",
+                           help="evidence scale (tiny | smoke | full; "
+                                "default: smoke)")
+    fid_run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for the underlying "
+                                "sweeps (default: 1; the scorecard is "
+                                "byte-identical either way)")
+    fid_run_p.add_argument("--out", default=None, metavar="PATH",
+                           help="record path (default: "
+                                "FIDELITY_<utc-timestamp>.json)")
+    fid_run_p.add_argument("--baseline", default=None, metavar="PATH",
+                           help="also write the record here (e.g. "
+                                "benchmarks/baselines/"
+                                "fidelity_smoke.json)")
+    fid_run_p.add_argument("--gate", action="store_true",
+                           help="exit 1 when any calibrated claim fails")
+    fid_rep_p = fid_sub.add_parser(
+        "report", help="render a scorecard (from a record, or a fresh "
+                       "run)")
+    fid_rep_p.add_argument("--record", default=None, metavar="PATH",
+                           help="render this FIDELITY_*.json instead of "
+                                "running")
+    fid_rep_p.add_argument("--scale", default="smoke",
+                           help="evidence scale when running fresh "
+                                "(default: smoke)")
+    fid_rep_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes when running fresh")
+    fid_rep_p.add_argument("--markdown", action="store_true",
+                           help="emit the EXPERIMENTS.md claims table "
+                                "instead of the text scorecard")
+    fid_cmp_p = fid_sub.add_parser(
+        "compare", help="diff two FIDELITY records; flag claims that "
+                        "crossed a tolerance band")
+    fid_cmp_p.add_argument("old", metavar="OLD.json")
+    fid_cmp_p.add_argument("new", metavar="NEW.json")
+    fid_cmp_p.add_argument("--gate", action="store_true",
+                           help="exit 1 when any claim's verdict "
+                                "worsened")
+
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "app": cmd_app,
-               "obs": cmd_obs, "bench": cmd_bench}
+               "obs": cmd_obs, "bench": cmd_bench,
+               "fidelity": cmd_fidelity}
     return handler[args.command](args)
 
 

@@ -20,9 +20,9 @@ this change regress it*:
 CLI: ``repro bench run | hotspots | compare``.
 """
 
-from .compare import (BenchRecordError, ScenarioDelta, compare_paths,
-                      compare_records, gate_exit_code, load_bench_record,
-                      render_compare_table)
+from .compare import (COMPARE_VERDICTS, BenchRecordError, ScenarioDelta,
+                      compare_paths, compare_records, gate_exit_code,
+                      load_bench_record, render_compare_table)
 from .hotspots import (Hotspot, HotspotReport, aggregate_hotspots,
                        folded_stacks, render_hotspot_table)
 from .suite import (SCENARIOS, SCHEMA, SCHEMA_VERSION, SUITES, Scenario,
@@ -35,7 +35,7 @@ __all__ = [
     "SCENARIOS", "SCHEMA", "SCHEMA_VERSION", "SUITES", "Scenario",
     "default_bench_path", "run_scenario", "run_suite",
     "write_bench_record",
-    "BenchRecordError", "ScenarioDelta", "compare_paths",
+    "COMPARE_VERDICTS", "BenchRecordError", "ScenarioDelta", "compare_paths",
     "compare_records", "gate_exit_code", "load_bench_record",
     "render_compare_table",
 ]

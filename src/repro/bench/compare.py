@@ -22,47 +22,34 @@ produced on the same host; cross-host comparisons are for eyeballs.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..records import RecordError, load_schema_record
 from .suite import SCHEMA, SCHEMA_VERSION
 
-__all__ = ["BenchRecordError", "ScenarioDelta", "compare_records",
-           "load_bench_record", "render_compare_table"]
+__all__ = ["COMPARE_VERDICTS", "BenchRecordError", "ScenarioDelta",
+           "compare_records", "load_bench_record", "render_compare_table"]
 
 DEFAULT_REL_THRESHOLD = 0.10
 DEFAULT_MAD_K = 3.0
 DEFAULT_MIN_SECONDS = 0.001
 
+#: The shared compare-verdict vocabulary. ``bench compare`` uses all
+#: six; ``fidelity compare`` uses the first five (nothing is ever
+#: "too fast" to check a scientific claim). Only ``regression`` gates.
+COMPARE_VERDICTS = ("ok", "regression", "improved", "new", "missing",
+                    "too-fast")
 
-class BenchRecordError(Exception):
+
+class BenchRecordError(RecordError):
     """A BENCH record file is missing, malformed, or a newer schema."""
 
 
 def load_bench_record(path: str) -> dict:
     """Load and schema-validate one BENCH_*.json record."""
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            record = json.load(fh)
-    except OSError as exc:
-        raise BenchRecordError(f"cannot read {path!r}: {exc}") from exc
-    except json.JSONDecodeError as exc:
-        raise BenchRecordError(f"{path!r} is not valid JSON: {exc}") from exc
-    if not isinstance(record, dict) or record.get("schema") != SCHEMA:
-        raise BenchRecordError(
-            f"{path!r} is not a {SCHEMA} record "
-            f"(schema={record.get('schema')!r})"
-            if isinstance(record, dict) else
-            f"{path!r} is not a {SCHEMA} record")
-    version = record.get("schema_version")
-    if not isinstance(version, int) or version > SCHEMA_VERSION:
-        raise BenchRecordError(
-            f"{path!r} has schema_version {version!r}; this build "
-            f"understands <= {SCHEMA_VERSION}")
-    if not isinstance(record.get("scenarios"), dict):
-        raise BenchRecordError(f"{path!r} has no scenarios table")
-    return record
+    return load_schema_record(path, SCHEMA, SCHEMA_VERSION, "scenarios",
+                              error_cls=BenchRecordError)
 
 
 @dataclass

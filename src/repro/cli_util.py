@@ -1,0 +1,66 @@
+"""Shared CLI name-resolution helpers with did-you-mean hints.
+
+Every subcommand that takes a name from a closed set — applications,
+experiments, bench suites/scenarios, fidelity scales — routes its
+failure through :func:`unknown_name`, so the suggestion behaviour and
+the exit-2 usage contract can never drift between subcommands.
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+
+__all__ = ["unknown_name", "lookup_app", "resolve_apps",
+           "resolve_experiments"]
+
+
+def unknown_name(kind: str, name: str, known) -> "SystemExit":
+    """Shared did-you-mean usage error: print a hint, exit 2.
+
+    Returned (not raised) so call sites can choose ``raise
+    unknown_name(...)`` or use it as a sentinel.
+    """
+    close = difflib.get_close_matches(name, list(known), n=3, cutoff=0.4)
+    hint = f"; did you mean {', '.join(close)}?" if close else ""
+    print(f"unknown {kind} {name!r}{hint}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def lookup_app(name: str, known):
+    """One app by name; exit 2 with a did-you-mean hint when unknown."""
+    from .kernels import get_app
+    try:
+        return get_app(name)
+    except KeyError:
+        raise unknown_name("app", name, known)
+
+
+def resolve_apps(spec):
+    """Parse a comma-separated app spec; exit 2 with suggestions if bad.
+
+    An empty/None spec resolves to None ("the full suite") so callers
+    can pass it straight to the drivers.
+    """
+    if not spec:
+        return None
+    from .kernels import all_apps
+    known = [app.name for app in all_apps()]
+    return [lookup_app(name, known)
+            for name in (n.strip() for n in spec.split(",")) if name]
+
+
+def resolve_experiments(spec):
+    """Parse a comma-separated experiment-id spec ('all'/empty -> None).
+
+    Unknown ids exit 2 with a did-you-mean hint, mirroring
+    :func:`resolve_apps`.
+    """
+    if not spec or spec == "all":
+        return None
+    from .experiments import EXPERIMENTS
+    ids = [n.strip() for n in spec.split(",") if n.strip()]
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise unknown_name("experiment", exp_id, EXPERIMENTS)
+    return ids

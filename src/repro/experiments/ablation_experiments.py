@@ -72,6 +72,7 @@ def ablation_isa_mask(apps=None) -> ExperimentResult:
             "dynamic_extra_gain": float(np.mean(dynamic_fracs)
                                         - np.mean(static_fracs)),
         },
+        anchor="§4.3.2",
     )
 
 
@@ -102,6 +103,7 @@ def ablation_pivot_lane(apps=None,
                           "average; lane 0 (prior work's default) is "
                           "the worst of the candidates",
         summary=summary,
+        anchor="§4.2.1",
     )
 
 
@@ -154,6 +156,7 @@ def ablation_bus_invert(apps=None, sample_words: int = 4096) -> ExperimentResult
             "businvert_one_fraction": hamming_weight(stream) / total_bits,
             "bvf_one_fraction": hamming_weight(bvf_stream) / total_bits,
         },
+        anchor="§3.2",
     )
 
 

@@ -65,6 +65,7 @@ class ExperimentResult:
     paper_expectation: str = ""
     notes: str = ""
     summary: Dict[str, float] = field(default_factory=dict)
+    anchor: str = ""             # paper anchor, e.g. "Fig 18" / "§3.1"
 
     def to_text(self) -> str:
         parts = [f"== {self.exp_id}: {self.title} =="]
@@ -88,6 +89,7 @@ class ExperimentResult:
             "paper_expectation": self.paper_expectation,
             "notes": self.notes,
             "summary": {str(k): float(v) for k, v in self.summary.items()},
+            "anchor": self.anchor,
         }
 
     @classmethod
@@ -100,6 +102,7 @@ class ExperimentResult:
             paper_expectation=payload.get("paper_expectation", ""),
             notes=payload.get("notes", ""),
             summary=dict(payload.get("summary", {})),
+            anchor=payload.get("anchor", ""),
         )
 
 

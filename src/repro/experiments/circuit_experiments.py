@@ -40,6 +40,7 @@ def fig01_power_efficiency() -> ExperimentResult:
         paper_expectation="efficiency rises each generation and passes "
                           "the 50 Gflops/W Exascale target in 2016",
         summary={"first_over_50_year": 2016.0 if crossed else 0.0},
+        anchor="Fig 1",
     )
 
 
@@ -85,6 +86,7 @@ def fig05_06_access_energy(tech_name: str = "28nm",
             "write1_over_write0": bvf.write_fj[1] / bvf.write_fj[0],
             "bvf_write0_over_8t_write0": bvf.write_fj[0] / conv.write_fj[0],
         },
+        anchor="Fig 5" if tech_name == "28nm" else "Fig 6",
     )
 
 
@@ -106,6 +108,7 @@ def leakage_asymmetry(tech_name: str = "28nm") -> ExperimentResult:
         headers=["comparison", "measured reduction", "paper"],
         rows=rows,
         summary={"delta0": d0, "delta1": d1, "bit1_vs_bit0": d10},
+        anchor="§3.1",
     )
 
 
@@ -125,6 +128,7 @@ def discussion_6t_reliability() -> ExperimentResult:
         paper_expectation="reading 0 flips the cell once a bitline is "
                           "shared by more than 16 cells",
         summary={"max_safe_cells": float(limit)},
+        anchor="§7.1",
     )
 
 
@@ -142,6 +146,8 @@ def discussion_edram() -> ExperimentResult:
         f1 = array.refresh_energy_fj(1)
         rows.append([tech.name, f"{r1 / r0:.3f}", f"{w1 / w0:.3f}",
                      f"{f1 / f0:.3f}"])
+        summary[f"read1_over_read0_{tech.name}"] = r1 / r0
+        summary[f"write1_over_write0_{tech.name}"] = w1 / w0
         summary[f"refresh1_over_refresh0_{tech.name}"] = f1 / f0
     return ExperimentResult(
         exp_id="sec7.2",
@@ -150,4 +156,6 @@ def discussion_edram() -> ExperimentResult:
         rows=rows,
         paper_expectation="all three ratios well below 1: the eDRAM gain "
                           "cell exhibits BVF for read, write and refresh",
+        summary=summary,
+        anchor="§7.2",
     )

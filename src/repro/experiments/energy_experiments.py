@@ -60,6 +60,7 @@ def fig16_17_component_energy(tech_name: str = "28nm",
                           "ISA only moves the instruction path; NoC saves "
                           "~20%, driven by the VS encoder",
         summary=summary,
+        anchor="Fig 16" if tech_name == "28nm" else "Fig 17",
     )
 
 
@@ -98,6 +99,7 @@ def fig18_19_chip_energy(tech_name: str = "28nm",
         summary={"mean_reduction": mean,
                  "max_reduction": float(np.max(reds)),
                  "min_reduction": float(np.min(reds))},
+        anchor="Fig 18" if tech_name == "28nm" else "Fig 19",
     )
 
 
@@ -131,6 +133,7 @@ def fig20_dvfs(apps=None) -> ExperimentResult:
         paper_expectation="the BVF reduction percentage is consistent "
                           "across the three P-states on both nodes",
         summary=summary,
+        anchor="Fig 20",
     )
 
 
@@ -165,6 +168,7 @@ def fig21_schedulers(apps=None) -> ExperimentResult:
                           "across schedulers (LRR/two-level baselines run "
                           "slightly higher than GTO)",
         summary=summary,
+        anchor="Fig 21",
     )
 
 
@@ -193,6 +197,7 @@ def fig22_capacity(apps=None) -> ExperimentResult:
                           "(~52% at 40nm, ~48% at 28nm) regardless of "
                           "capacity generation",
         summary=summary,
+        anchor="Fig 22",
     )
 
 
@@ -235,6 +240,7 @@ def fig23_6t_vs_8t(apps=None) -> ExperimentResult:
                           "1.2V; deep-DVFS 0.6V (which 6T cannot reach) "
                           "yields large further savings",
         summary=summary,
+        anchor="Fig 23",
     )
 
 
@@ -272,4 +278,5 @@ def overhead_table() -> ExperimentResult:
                           "static, ~0.2-0.3 mm2 — negligible vs the "
                           "savings",
         summary=summary,
+        anchor="§6.3",
     )

@@ -121,4 +121,5 @@ def sec7_1_fault_injection(apps=None,
               "16-cell limit is a correctness constraint, not an energy "
               "trade-off.",
         summary=summary,
+        anchor="§7.1",
     )

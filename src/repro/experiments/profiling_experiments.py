@@ -33,6 +33,7 @@ def fig08_narrow_value(apps=None) -> ExperimentResult:
         paper_expectation="an average of ~9 leading zero bits per word "
                           "across the suite",
         summary={"mean_leading_zeros": mean},
+        anchor="Fig 8",
     )
 
 
@@ -56,6 +57,7 @@ def fig09_bit_ratio(apps=None) -> ExperimentResult:
         paper_expectation="~22 of 32 bits are 0 on average, so flipping "
                           "all bits of positive values pays off",
         summary={"mean_zero_bits": mean},
+        anchor="Fig 9",
     )
 
 
@@ -87,6 +89,7 @@ def fig11_lane_hamming(apps=None) -> ExperimentResult:
             "lane21_vs_lane0": float(curve[21]),
             "middle_vs_edges": middle / edges if edges else 1.0,
         },
+        anchor="Fig 11",
     )
 
 
@@ -111,6 +114,7 @@ def fig12_pivot_quality(apps=None, pivot: int = 21) -> ExperimentResult:
         paper_expectation="the fixed pivot is close to optimal for most "
                           "applications",
         summary={"mean_excess": mean},
+        anchor="Fig 12",
     )
 
 
@@ -133,6 +137,7 @@ def fig14_isa_bits(apps=None) -> ExperimentResult:
                 profile.positions_preferring_zero),
             "instructions": float(profile.instruction_count),
         },
+        anchor="Fig 14",
     )
 
 
@@ -159,4 +164,5 @@ def table2_masks(apps=None) -> ExperimentResult:
                           "from binary bit-position statistics",
         summary={"baseline_one_fraction": float(base),
                  "encoded_one_fraction": float(enc)},
+        anchor="Table 2",
     )

@@ -1,0 +1,200 @@
+"""Observation extraction for the fidelity scorecard.
+
+Claims never re-run analysis: they read finished artifacts — merged
+:class:`~repro.experiments.base.ExperimentResult` tables/summaries and
+the sweep's merged metrics snapshot — collected into one
+:class:`ArtifactSet`. Because both inputs are already deterministic at
+any ``--jobs`` count (the runner merges in sorted unit-key order), a
+scorecard built from them is byte-identical at any worker count too.
+
+Extractors are tiny factory functions returning
+``Callable[[ArtifactSet], ...]``; a missing artifact raises
+:class:`NotAvailable`, which the scorecard engine maps to a
+``not-run`` verdict rather than an error — scales that skip an
+experiment simply leave its claims unchecked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments.base import ExperimentResult
+
+__all__ = ["ArtifactSet", "NotAvailable", "parse_cell", "summary_value",
+           "summary_values", "summary_series", "app_values", "lane_curve",
+           "metric_reduction"]
+
+
+class NotAvailable(Exception):
+    """The artifact a claim needs is absent from this run."""
+
+
+def parse_cell(cell) -> float:
+    """Parse one formatted table cell: '40.8%' -> 0.408, '0.934' -> float."""
+    if isinstance(cell, str):
+        text = cell.strip()
+        if text.endswith("%"):
+            return float(text[:-1]) / 100.0
+        return float(text)
+    return float(cell)
+
+
+@dataclass
+class ArtifactSet:
+    """Finished experiment results + one merged metrics snapshot.
+
+    ``results`` is keyed by experiment id; ``metrics`` is a
+    :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` payload (or
+    None when the run was not observed).
+    """
+
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    metrics: Optional[dict] = None
+
+    @classmethod
+    def from_results(cls, results: Sequence[ExperimentResult],
+                     metrics: Optional[dict] = None) -> "ArtifactSet":
+        return cls(results={r.exp_id: r for r in results}, metrics=metrics)
+
+    def add(self, results: Sequence[ExperimentResult]) -> None:
+        for result in results:
+            self.results[result.exp_id] = result
+
+    def result(self, exp_id: str) -> ExperimentResult:
+        try:
+            return self.results[exp_id]
+        except KeyError:
+            raise NotAvailable(f"experiment {exp_id!r} was not run")
+
+    def summary(self, exp_id: str, key: str) -> float:
+        result = self.result(exp_id)
+        try:
+            return float(result.summary[key])
+        except KeyError:
+            raise NotAvailable(
+                f"{exp_id} summary has no {key!r} "
+                f"(keys: {sorted(result.summary)})")
+
+    def metric_value(self, family: str, labels: Optional[dict] = None):
+        """One series value from the metrics snapshot."""
+        if self.metrics is None:
+            raise NotAvailable("run had no metrics snapshot")
+        fam = self.metrics.get("families", {}).get(family)
+        if fam is None:
+            raise NotAvailable(f"metrics snapshot has no family {family!r}")
+        want = {str(k): str(v) for k, v in (labels or {}).items()}
+        for entry in fam.get("series", []):
+            if entry.get("labels", {}) == want:
+                return entry["value"]
+        raise NotAvailable(f"{family} has no series with labels {want}")
+
+
+# ---------------------------------------------------------------------------
+# Extractor factories
+# ---------------------------------------------------------------------------
+
+def summary_value(exp_id: str, key: str) -> Callable[[ArtifactSet], float]:
+    """One float from an experiment's summary dict."""
+    def extract(artifacts: ArtifactSet) -> float:
+        return artifacts.summary(exp_id, key)
+    return extract
+
+
+def summary_values(entries: Dict[str, Tuple[str, str]]
+                   ) -> Callable[[ArtifactSet], Dict[str, float]]:
+    """Labelled values from (possibly several) experiments' summaries.
+
+    ``entries`` maps a display label to an ``(exp_id, summary_key)``
+    pair; the result is ``{label: value}`` for ordering/shape claims.
+    """
+    def extract(artifacts: ArtifactSet) -> Dict[str, float]:
+        return {label: artifacts.summary(exp_id, key)
+                for label, (exp_id, key) in entries.items()}
+    return extract
+
+
+def summary_series(exp_id: str, prefix: str
+                   ) -> Callable[[ArtifactSet], List[Tuple[float, float]]]:
+    """``(x, y)`` series from summary keys ``<prefix><x>``, sorted by x.
+
+    E.g. ``summary_series("sec7.1-inject", "flip_rate_c")`` yields the
+    flip rate as a function of cells/bitline.
+    """
+    def extract(artifacts: ArtifactSet) -> List[Tuple[float, float]]:
+        summary = artifacts.result(exp_id).summary
+        series = []
+        for key, value in summary.items():
+            if key.startswith(prefix):
+                try:
+                    x = float(key[len(prefix):])
+                except ValueError:
+                    continue
+                series.append((x, float(value)))
+        if not series:
+            raise NotAvailable(
+                f"{exp_id} summary has no {prefix!r}* series")
+        return sorted(series)
+    return extract
+
+
+def app_values(exp_id: str, value_col: int = -1
+               ) -> Callable[[ArtifactSet], Dict[str, float]]:
+    """Per-app values from a result table's last (or given) column.
+
+    Works on both shapes the pipeline produces: a driver's own table
+    (``[app, ...cells]``) and the sweep-merged table (``[app, app,
+    ...cells]`` — the runner prepends the unit's app name). Aggregate
+    'AVG' rows are skipped.
+    """
+    def extract(artifacts: ArtifactSet) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        for row in artifacts.result(exp_id).rows:
+            if not row or "AVG" in (str(row[0]), str(row[min(1, len(row) - 1)])):
+                continue
+            try:
+                values[str(row[0])] = parse_cell(row[value_col])
+            except (TypeError, ValueError):
+                continue
+        if not values:
+            raise NotAvailable(f"{exp_id} table has no per-app rows")
+        return values
+    return extract
+
+
+def lane_curve(exp_id: str = "fig11"
+               ) -> Callable[[ArtifactSet], List[Tuple[float, float]]]:
+    """Mean per-lane curve from a ``[..., lane, value]`` row table.
+
+    On a sweep-merged table the same lane appears once per app; the
+    per-lane mean reproduces the driver's cross-app aggregation.
+    """
+    def extract(artifacts: ArtifactSet) -> List[Tuple[float, float]]:
+        acc: Dict[float, List[float]] = {}
+        for row in artifacts.result(exp_id).rows:
+            try:
+                lane = float(int(row[-2]))
+                value = parse_cell(row[-1])
+            except (TypeError, ValueError, IndexError):
+                continue
+            acc.setdefault(lane, []).append(value)
+        if not acc:
+            raise NotAvailable(f"{exp_id} table has no lane curve")
+        return sorted((lane, sum(vs) / len(vs)) for lane, vs in acc.items())
+    return extract
+
+
+def metric_reduction(family: str, base_labels: dict, new_labels: dict
+                     ) -> Callable[[ArtifactSet], float]:
+    """``1 - new/base`` over two counter series of one family.
+
+    The NoC toggle-reduction claims read the sweep's merged metrics
+    snapshot this way instead of re-walking flit streams.
+    """
+    def extract(artifacts: ArtifactSet) -> float:
+        base = artifacts.metric_value(family, base_labels)
+        new = artifacts.metric_value(family, new_labels)
+        if not base:
+            raise NotAvailable(f"{family}{base_labels} is zero")
+        return 1.0 - float(new) / float(base)
+    return extract

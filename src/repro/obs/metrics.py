@@ -131,10 +131,41 @@ class Histogram:
         self.total += other.total
         self.count += other.count
 
+    def percentile(self, q: float):
+        """Bucket-resolution quantile estimate (Prometheus-style).
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q * count``; observations in the +Inf overflow
+        bucket clamp to the largest finite bound (the estimate is a
+        floor there, exactly as ``histogram_quantile`` behaves). None
+        when the histogram is empty. Derived purely from the bucket
+        counts, so it is deterministic and survives merge/round-trip.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            cumulative += n
+            if cumulative >= rank:
+                return bound
+        return self.bounds[-1]
+
     def to_value(self) -> dict:
+        """JSON snapshot: raw buckets plus derived p50/p95/p99.
+
+        The percentiles are *derived* fields — :meth:`load` ignores
+        them and recomputes from the buckets — so adding them keeps
+        ``from_dict(to_dict())`` an exact round-trip.
+        """
         return {"bounds": list(self.bounds),
                 "counts": list(self.bucket_counts),
-                "sum": self.total, "count": self.count}
+                "sum": self.total, "count": self.count,
+                "p50": self.percentile(0.50),
+                "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99)}
 
     def load(self, value: dict) -> None:
         self.bounds = tuple(value["bounds"])

@@ -28,7 +28,7 @@ from .provenance import build_provenance, variant_dynamic_matrix
 from .tracer import Tracer
 
 __all__ = ["publish_app_metrics", "write_text_sink", "write_trace_jsonl",
-           "write_metrics", "provenance_report"]
+           "write_metrics", "provenance_report", "render_metrics_summary"]
 
 #: Histogram bounds for per-app warp-instruction volume.
 _INSTRUCTION_BOUNDS = (100, 1_000, 10_000, 100_000, 1_000_000)
@@ -153,8 +153,43 @@ def write_metrics(registry: MetricsRegistry, path: str) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# The `repro obs report` body
+# The `repro obs report` bodies
 # ---------------------------------------------------------------------------
+
+def render_metrics_summary(snapshot: dict) -> str:
+    """Human summary of a ``--metrics-out`` JSON snapshot.
+
+    Counters and gauges render one line per series; histogram series
+    additionally show the derived latency-style summary (count, sum,
+    p50/p95/p99) that :meth:`Histogram.to_value` exports.
+    """
+    def _labels(entry) -> str:
+        labels = entry.get("labels") or {}
+        if not labels:
+            return ""
+        inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+        return "{" + inner + "}"
+
+    lines: List[str] = []
+    families = snapshot.get("families", {})
+    for name in sorted(families):
+        family = families[name]
+        kind = family.get("kind", "?")
+        help_text = family.get("help", "")
+        suffix = f"  # {help_text}" if help_text else ""
+        lines.append(f"{name} ({kind}){suffix}")
+        for entry in family.get("series", []):
+            value = entry.get("value")
+            if kind == "histogram" and isinstance(value, dict):
+                lines.append(
+                    f"  {name}{_labels(entry)}: count={value['count']} "
+                    f"sum={value['sum']} p50={value.get('p50')} "
+                    f"p95={value.get('p95')} p99={value.get('p99')}")
+            else:
+                lines.append(f"  {name}{_labels(entry)} = {value}")
+    if not lines:
+        return "(no metric families in snapshot)"
+    return "\n".join(lines)
 
 def provenance_report(apps, tech: str = "40nm",
                       json_out: Optional[list] = None) -> Tuple[str, bool]:

@@ -134,6 +134,7 @@ class SweepRunner:
                       "apps": [app.name for app in self.apps]})
             self.checkpoint.save()
         self.stats = SweepStats()
+        self.results: List[ExperimentResult] = []
 
     # -- planning ---------------------------------------------------------
 
@@ -196,6 +197,10 @@ class SweepRunner:
             with trace_span("sweep_obs"):
                 self._assemble_obs()
                 self._write_sinks()
+        # Retained so downstream consumers (the fidelity scorecard
+        # assembles claims over several runners' outputs) can read the
+        # merged results without re-deriving them from the checkpoint.
+        self.results = results
         return results
 
     def _record(self, key: str, record: dict) -> None:
@@ -364,6 +369,7 @@ class SweepRunner:
             paper_expectation=first.paper_expectation,
             notes="\n".join(notes),
             summary=summary,
+            anchor=first.anchor,
         )
 
     def _failure_result(self, exp_id: str, parts: dict) -> ExperimentResult:

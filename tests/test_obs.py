@@ -132,11 +132,31 @@ class TestMetricsRegistry:
         assert reg.value("g") == 7
         assert reg.value("h") == {"bounds": [10, 100],
                                   "counts": [1, 0, 1],
-                                  "sum": 505, "count": 2}
+                                  "sum": 505, "count": 2,
+                                  "p50": 10, "p95": 100, "p99": 100}
         with pytest.raises(ValueError):
             reg.counter("c", {"k": "a"}).inc(-1)
         with pytest.raises(TypeError):
             reg.gauge("c")   # kind conflict on an existing name
+
+    def test_histogram_percentiles(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", bounds=(1, 10, 100))
+        assert hist.percentile(0.5) is None          # empty
+        for value in (1, 2, 3, 50, 5000):
+            hist.observe(value)
+        # buckets: [1, 2, 1, 1]; overflow clamps to the largest bound
+        assert hist.percentile(0.0) == 1
+        assert hist.percentile(0.5) == 10
+        assert hist.percentile(0.95) == 100
+        assert hist.percentile(1.0) == 100
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+        # derived fields are recomputed after a round-trip, not stored
+        payload = reg.to_dict()
+        entry = payload["families"]["lat"]["series"][0]["value"]
+        assert (entry["p50"], entry["p95"], entry["p99"]) == (10, 100, 100)
+        assert MetricsRegistry.from_dict(payload).to_dict() == payload
 
     def test_merge_is_order_independent(self):
         def make(seed):
