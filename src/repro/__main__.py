@@ -21,6 +21,8 @@ Usage::
     python -m repro fidelity run --scale smoke     # FIDELITY_<ts>.json
     python -m repro fidelity report --markdown     # EXPERIMENTS.md table
     python -m repro fidelity compare old.json new.json --gate
+    python -m repro run all --chaos kill=0.5,torn=0.3 --chaos-seed 7
+    python -m repro chaos --campaign smoke --jobs 2  # survival matrix
 
 Parallel sweeps are deterministic: every unit is seeded from its
 (experiment, app) key and the merge is order-independent, so ``--jobs
@@ -29,11 +31,14 @@ structure, metrics snapshot and fidelity scorecard are deterministic
 the same way.
 
 Exit codes: 0 success, 1 regression flagged by a ``--gate`` (``bench
-compare``, ``fidelity compare``, or a calibrated-claim failure under
-``fidelity run --gate``), 2 usage error (unknown experiment/app/
-suite/scenario/scale, missing resume/trace/record file), 3 sweep
+compare``, ``fidelity compare``, a calibrated-claim failure under
+``fidelity run --gate``, or a chaos campaign scenario that did not
+survive), 2 usage error (unknown experiment/app/suite/scenario/scale/
+campaign, bad --chaos spec, missing resume/trace/record file), 3 sweep
 completed but some units failed (or a provenance total failed to
-reproduce the chip model exactly, or an output sink was unwritable).
+reproduce the chip model exactly, or an output sink was unwritable),
+130 sweep drained after SIGTERM/SIGINT — completed units are
+checkpointed and ``--resume`` picks up from the frontier.
 """
 
 from __future__ import annotations
@@ -61,8 +66,28 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _chaos_plan(args):
+    """Build the ChaosPlan from --chaos/--chaos-seed, or None/2.
+
+    Returns ``(plan, 0)`` — plan may be None — or ``(None, 2)`` after
+    printing the spec error.
+    """
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return None, 0
+    from .chaos import ChaosError, parse_chaos_spec
+    try:
+        return parse_chaos_spec(spec, seed=args.chaos_seed), 0
+    except ChaosError as exc:
+        print(f"bad --chaos spec: {exc}", file=sys.stderr)
+        return None, 2
+
+
 def _run_resilient(args, experiments, apps) -> int:
-    from .runner import CheckpointError, SweepRunner
+    from .runner import CheckpointError, SweepInterrupted, SweepRunner
+    chaos, code = _chaos_plan(args)
+    if code:
+        return code
     try:
         runner = SweepRunner(
             experiments=experiments,
@@ -75,6 +100,8 @@ def _run_resilient(args, experiments, apps) -> int:
             jobs=args.jobs,
             trace_path=args.trace,
             metrics_path=args.metrics_out,
+            chaos=chaos,
+            max_dispatches=args.max_dispatches,
         )
     except FileNotFoundError:
         print(f"resume checkpoint not found: {args.resume!r}",
@@ -97,11 +124,25 @@ def _run_resilient(args, experiments, apps) -> int:
               f"attempts={record['attempts']})", file=sys.stderr)
 
     runner.on_unit_done = _progress
-    results = runner.run()
+    try:
+        results = runner.run()
+    except SweepInterrupted as exc:
+        # Completed units (including drained worker futures) are
+        # already checkpointed; 130 is the conventional fatal-signal
+        # code and tells wrappers a --resume will finish the sweep.
+        print(f"sweep interrupted: {exc}", file=sys.stderr)
+        print(runner.report_line(), file=sys.stderr)
+        if runner.checkpoint.path:
+            print(f"resume with: --resume {runner.checkpoint.path}",
+                  file=sys.stderr)
+        return 130
     for result in results:
         print(result.to_text())
         print()
     print(runner.report_line())
+    for key in runner.quarantined_units:
+        print(f"  quarantined unit (recorded as structured failure): "
+              f"{key}", file=sys.stderr)
     if runner.failed_units:
         for key in runner.failed_units:
             print(f"  failed unit: {key}", file=sys.stderr)
@@ -125,7 +166,7 @@ def cmd_run(args) -> int:
     # Observability sinks need the unit-record machinery, so they force
     # the resilient path (which is result-identical to the plain one).
     resilient = bool(args.checkpoint or args.resume or args.jobs > 1
-                     or args.trace or args.metrics_out)
+                     or args.trace or args.metrics_out or args.chaos)
     if args.experiment == "all" or resilient:
         experiments = None if args.experiment == "all" else [args.experiment]
         return _run_resilient(args, experiments, apps)
@@ -315,10 +356,11 @@ def _run_fidelity_record(scale_name: str, jobs: int):
         print(f"  [{done['n']}] {record['status']} {key} "
               f"({record['wall_s']}s)", file=sys.stderr)
 
-    artifacts, failed = run_scale(scale, jobs=jobs,
-                                  on_unit_done=_progress)
+    artifacts, failed, quarantined = run_scale(scale, jobs=jobs,
+                                               on_unit_done=_progress)
     return build_record(evaluate_claims(artifacts), scale.name,
-                        failed_units=failed)
+                        failed_units=failed,
+                        quarantined_units=quarantined)
 
 
 def _cmd_fidelity_run(args) -> int:
@@ -337,6 +379,12 @@ def _cmd_fidelity_run(args) -> int:
         if not write_fidelity_record(record, args.baseline):
             return 3
         print(f"wrote baseline copy {args.baseline}")
+    for key in record.get("quarantined_units", []):
+        # Quarantine is a harness outcome, not a science failure: the
+        # affected claims are graded not-run, and the sweep exit stays
+        # clean so one poisoned worker can't fail the whole scorecard.
+        print(f"  quarantined unit (claims graded not-run): {key}",
+              file=sys.stderr)
     if record["failed_units"]:
         for key in record["failed_units"]:
             print(f"  failed unit: {key}", file=sys.stderr)
@@ -391,6 +439,32 @@ def cmd_fidelity(args) -> int:
     return handler[args.fidelity_command](args)
 
 
+def cmd_chaos(args) -> int:
+    from .chaos import CAMPAIGNS, render_survival_matrix, run_campaign
+    if args.campaign not in CAMPAIGNS:
+        raise _unknown_name("chaos campaign", args.campaign, CAMPAIGNS)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    apps = _resolve_apps(args.apps) if args.apps else None
+    kwargs = {}
+    if apps is not None:
+        kwargs["apps"] = [app.name for app in apps]
+    report = run_campaign(args.campaign, seed=args.seed, jobs=args.jobs,
+                          log=lambda msg: print(msg, file=sys.stderr),
+                          **kwargs)
+    print(render_survival_matrix(report))
+    if args.matrix_out:
+        from .experiments.base import canonical_json
+        from .obs.report import write_text_sink
+        if not write_text_sink(args.matrix_out, canonical_json(report),
+                               "survival matrix"):
+            return 3
+        print(f"wrote survival matrix to {args.matrix_out}",
+              file=sys.stderr)
+    return 0 if report["survived_all"] else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -426,6 +500,20 @@ def main(argv=None) -> int:
     run_p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the sweep's merged metrics here (JSON; "
                             "Prometheus text for .prom/.txt)")
+    run_p.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="inject deterministic harness faults, e.g. "
+                            "'kill=0.5,torn=0.3,hang_s=2' (kinds: kill, "
+                            "exit, hang, corrupt, torn, enospc, eacces, "
+                            "stale_tmp, sigterm, sigint, sigterm_merge; "
+                            "params: hang_s, times, max_signals)")
+    run_p.add_argument("--chaos-seed", type=int, default=0, metavar="N",
+                       help="seed for the chaos plan (default: 0); the "
+                            "fault schedule is a pure function of "
+                            "(seed, spec)")
+    run_p.add_argument("--max-dispatches", type=int, default=3, metavar="N",
+                       help="worker hand-outs per unit before the "
+                            "supervisor quarantines it as poison "
+                            "(default: 3; --jobs > 1 only)")
 
     app_p = sub.add_parser("app", help="single-app energy study")
     app_p.add_argument("name")
@@ -555,10 +643,27 @@ def main(argv=None) -> int:
                            help="exit 1 when any claim's verdict "
                                 "worsened")
 
+    chaos_p = sub.add_parser(
+        "chaos", help="run a named harness-fault campaign and report "
+                      "the survival matrix")
+    chaos_p.add_argument("--campaign", default="smoke",
+                         help="campaign name (default: smoke)")
+    chaos_p.add_argument("--seed", type=int, default=1234, metavar="N",
+                         help="chaos-plan seed shared by every scenario "
+                              "(default: 1234)")
+    chaos_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="worker processes per scenario sweep "
+                              "(default: 2)")
+    chaos_p.add_argument("--apps", default="",
+                         help="comma-separated app subset for the "
+                              "reference sweep (default: ATA,VEC)")
+    chaos_p.add_argument("--matrix-out", default=None, metavar="PATH",
+                         help="also write the full report as JSON")
+
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "app": cmd_app,
                "obs": cmd_obs, "bench": cmd_bench,
-               "fidelity": cmd_fidelity}
+               "fidelity": cmd_fidelity, "chaos": cmd_chaos}
     return handler[args.command](args)
 
 

@@ -1,0 +1,30 @@
+"""Deterministic harness-fault injection for the sweep runner.
+
+``repro.chaos`` attacks the *harness* — worker processes, checkpoint
+I/O, signal handling — where :mod:`repro.faults` attacks the simulated
+silicon. Faults are scheduled by a seeded :class:`ChaosPlan` (pure
+sha256 of ``seed | site | kind | token``, no wall clock, no global
+RNG), so every chaotic run is replayable from ``(seed, spec)`` alone
+and the survival contract is checkable: a sweep under any plan must
+produce merged results byte-identical to a fault-free run.
+
+Entry points: ``repro run --chaos kill=0.5,torn=0.3 --chaos-seed 7``
+injects into a normal sweep; ``repro chaos --campaign smoke`` runs the
+named failure campaign and prints the survival matrix.
+"""
+
+from .campaign import (CAMPAIGNS, CampaignScenario, checkpoint_digest,
+                       render_survival_matrix, run_campaign)
+from .inject import (apply_worker_event, checkpoint_chaos_hook,
+                     corrupt_record, send_self_signal)
+from .plan import (CHECKPOINT_KINDS, MERGE_KINDS, SWEEP_KINDS,
+                   WORKER_KINDS, ChaosError, ChaosEvent, ChaosPlan,
+                   parse_chaos_spec)
+
+__all__ = [
+    "CAMPAIGNS", "CampaignScenario", "ChaosError", "ChaosEvent",
+    "ChaosPlan", "CHECKPOINT_KINDS", "MERGE_KINDS", "SWEEP_KINDS",
+    "WORKER_KINDS", "apply_worker_event", "checkpoint_chaos_hook",
+    "checkpoint_digest", "corrupt_record", "parse_chaos_spec",
+    "render_survival_matrix", "run_campaign", "send_self_signal",
+]

@@ -72,6 +72,15 @@ class ArtifactSet:
         try:
             return float(result.summary[key])
         except KeyError:
+            if result.summary.get("units_quarantined"):
+                # The key is missing because the supervisor quarantined
+                # the unit(s) that would have produced it — a harness
+                # outcome, so the claim grades not-run, with a message
+                # that points at the quarantine instead of the schema.
+                raise NotAvailable(
+                    f"{exp_id} summary has no {key!r}: "
+                    f"{int(result.summary['units_quarantined'])} unit(s) "
+                    f"quarantined by the sweep supervisor")
             raise NotAvailable(
                 f"{exp_id} summary has no {key!r} "
                 f"(keys: {sorted(result.summary)})")

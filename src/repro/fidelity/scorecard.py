@@ -121,8 +121,14 @@ def _scale_plan(scale: Scale) -> List[Tuple[Tuple[str, ...], List[str]]]:
 
 def run_scale(scale: Scale, jobs: int = 1,
               on_unit_done: Optional[Callable[[str, dict], None]] = None
-              ) -> Tuple[ArtifactSet, List[str]]:
-    """Run one scale's experiments; return (artifacts, failed units).
+              ) -> Tuple[ArtifactSet, List[str], List[str]]:
+    """Run one scale's experiments.
+
+    Returns ``(artifacts, failed_units, quarantined_units)`` — the two
+    unit lists are disjoint: quarantine is a harness outcome (a unit
+    that kept killing its worker, recorded as a structured failure by
+    the supervisor), so its claims grade *not-run* rather than failing
+    the scorecard.
 
     Experiments are grouped by effective app set and each group runs
     under one observed :class:`~repro.runner.SweepRunner`; group order,
@@ -137,6 +143,7 @@ def run_scale(scale: Scale, jobs: int = 1,
     artifacts = ArtifactSet()
     metrics = MetricsRegistry()
     failed: List[str] = []
+    quarantined: List[str] = []
     for apps_key, experiments in _scale_plan(scale):
         app_names = apps_key or scale.apps
         apps = ([get_app(name) for name in app_names]
@@ -148,8 +155,9 @@ def run_scale(scale: Scale, jobs: int = 1,
         if runner.metrics is not None:
             metrics.merge(runner.metrics)
         failed.extend(runner.failed_units)
+        quarantined.extend(runner.quarantined_units)
     artifacts.metrics = metrics.to_dict()
-    return artifacts, failed
+    return artifacts, failed, quarantined
 
 
 def evaluate_claims(artifacts: ArtifactSet,
@@ -160,11 +168,15 @@ def evaluate_claims(artifacts: ArtifactSet,
 
 def build_record(results: Sequence[ClaimResult], scale: str,
                  failed_units: Sequence[str] = (),
+                 quarantined_units: Sequence[str] = (),
                  created_utc: Optional[str] = None) -> dict:
     """Assemble the FIDELITY record dict for a finished evaluation.
 
     ``created_utc`` is a parameter (not sampled here) so tests and the
     byte-identity suite can pin it; the CLI stamps real time.
+    ``quarantined_units`` records harness-level quarantines (their
+    claims grade not-run); the key is only present when nonempty so
+    fault-free records are byte-unchanged.
     """
     if created_utc is None:
         created_utc = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
@@ -172,7 +184,7 @@ def build_record(results: Sequence[ClaimResult], scale: str,
               ("pass", "degraded", "fail", "not-run")}
     for result in results:
         counts[result.verdict] = counts.get(result.verdict, 0) + 1
-    return {
+    record = {
         "schema": FIDELITY_SCHEMA,
         "schema_version": FIDELITY_SCHEMA_VERSION,
         "scale": scale,
@@ -181,6 +193,9 @@ def build_record(results: Sequence[ClaimResult], scale: str,
         "claims": {r.claim_id: r.to_dict() for r in results},
         "summary": counts,
     }
+    if quarantined_units:
+        record["quarantined_units"] = list(quarantined_units)
+    return record
 
 
 def default_fidelity_path() -> str:

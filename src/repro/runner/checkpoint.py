@@ -2,26 +2,39 @@
 
 One checkpoint file records the outcome of every completed unit of
 work — a ``(experiment, app)`` pair, or a whole experiment for drivers
-that can't be decomposed per app. Saves are atomic (write to a
-temp file in the same directory, then ``os.replace``) so a kill at any
-point leaves either the previous checkpoint or the new one, never a
-torn file. Records are written in sorted key order, so two checkpoints
-of the same completed sweep are structurally identical no matter in
-which order (or on how many workers) the units finished.
+that can't be decomposed per app. Saves are durable and atomic: the
+payload is written to a temp file in the same directory, ``fsync``-ed,
+``os.replace``-d over the target, and the directory entry is synced —
+so a kill (or power cut) at any byte leaves either the previous
+checkpoint or the new one, never a torn file. Orphaned ``*.tmp`` files
+left by a writer that died mid-save are swept up the next time the
+checkpoint is opened or flushed. Records are written in sorted key
+order, so two checkpoints of the same completed sweep are structurally
+identical no matter in which order (or on how many workers) the units
+finished.
+
+Transient I/O failures (a full disk, a permissions hiccup, an injected
+chaos fault) do not abort the sweep: :meth:`Checkpoint.record` falls
+back to a *soft* save that keeps the records in memory, marks the
+store dirty, and retries on the next record; :meth:`Checkpoint.flush`
+makes a final durable attempt — the runner calls it in a ``finally``
+block so completed units survive interrupts.
 
 The on-disk format carries a ``schema_version`` field. Loading is
 defensive: files from older schemas are migrated when possible, and
 corrupt, truncated, or unrecognisable files raise
 :class:`CheckpointError` with a message that says what is wrong —
-never a bare ``KeyError``.
+never a bare ``KeyError`` or a raw ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+import warnings
+from typing import Callable, Dict, Optional
 
 __all__ = ["Checkpoint", "CheckpointError", "unit_key",
            "CHECKPOINT_SCHEMA_VERSION", "CHECKPOINT_VERSION"]
@@ -47,6 +60,27 @@ def unit_key(exp_id: str, app_name: Optional[str] = None) -> str:
     return f"{exp_id}::{app_name or '*'}"
 
 
+def _clean_stale_tmps(path: str) -> int:
+    """Remove orphaned temp files a dead writer left next to ``path``.
+
+    Temp files are namespaced as ``.<basename>.*.tmp`` in the target's
+    directory, so only this checkpoint's own debris is ever touched.
+    Returns the number of files removed (best-effort: an unremovable
+    orphan is skipped, not fatal).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    base = os.path.basename(path)
+    removed = 0
+    for stale in glob.glob(os.path.join(
+            glob.escape(directory), f".{glob.escape(base)}.*.tmp")):
+        try:
+            os.unlink(stale)
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
 class Checkpoint:
     """Persistent map from unit key to its outcome record.
 
@@ -58,6 +92,11 @@ class Checkpoint:
 
     With ``path=None`` the checkpoint lives in memory only (saves are
     no-ops) — the runner always goes through one, checkpointing or not.
+
+    ``chaos_hook``, when set, is called with ``(self, payload_text)``
+    at the top of every durable save; the harness-fault injector uses
+    it to simulate torn writes, ``ENOSPC``, ``EACCES``, and stale temp
+    debris (:func:`repro.chaos.inject.checkpoint_chaos_hook`).
     """
 
     def __init__(self, path: Optional[str] = None,
@@ -65,9 +104,17 @@ class Checkpoint:
         self.path = path
         self.meta = dict(meta or {})
         self.records: Dict[str, dict] = {}
+        self.dirty = False
+        self.save_failures = 0
+        self.chaos_hook: Optional[Callable[["Checkpoint", str], None]] = None
+        self._warned_soft_failure = False
+        if path is not None and os.path.isdir(
+                os.path.dirname(os.path.abspath(path))):
+            _clean_stale_tmps(path)
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":
+        _clean_stale_tmps(path)
         with open(path, "r", encoding="utf-8") as fh:
             try:
                 data = json.load(fh)
@@ -119,28 +166,98 @@ class Checkpoint:
         return self.records.get(key)
 
     def record(self, key: str, rec: dict) -> None:
-        self.records[key] = rec
-        self.save()
+        """Store one unit outcome and persist it (soft on I/O failure).
 
-    def save(self) -> None:
-        if self.path is None:
-            return
+        A failing save never loses the record: it stays in memory, the
+        store is marked dirty, and the next :meth:`record` or
+        :meth:`flush` retries the durable write.
+        """
+        self.records[key] = rec
+        self.dirty = True
+        self.save_soft()
+
+    def _serialize(self) -> str:
         data = {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "meta": self.meta,
             "records": {key: self.records[key]
                         for key in sorted(self.records)},
         }
+        return json.dumps(data, indent=1)
+
+    def save(self) -> None:
+        """Durable atomic save: tmp + fsync + ``os.replace`` + dir sync.
+
+        Raises ``OSError`` on I/O failure (callers that must not die
+        use :meth:`save_soft` / :meth:`flush`).
+        """
+        if self.path is None:
+            self.dirty = False
+            return
+        payload = self._serialize()
+        if self.chaos_hook is not None:
+            self.chaos_hook(self, payload)
         directory = os.path.dirname(os.path.abspath(self.path))
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        base = os.path.basename(self.path)
+        fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                        prefix=f".{base}.", suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(data, fh, indent=1)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp_path, self.path)
         except BaseException:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
+        try:
+            # Make the rename itself durable: sync the directory entry.
+            # Best-effort — not every filesystem/platform allows
+            # opening a directory for fsync.
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
+        self.dirty = False
+
+    def save_soft(self) -> bool:
+        """Attempt a durable save; absorb I/O failures into ``dirty``.
+
+        Returns True when the store is clean on disk afterwards. The
+        first failure warns (so a full disk is visible, once); every
+        failure increments ``save_failures`` for the obs counters.
+        """
+        try:
+            self.save()
+        except OSError as exc:
+            self.save_failures += 1
+            if not self._warned_soft_failure:
+                self._warned_soft_failure = True
+                warnings.warn(
+                    f"checkpoint save to {self.path!r} failed ({exc}); "
+                    f"records are kept in memory and the save will be "
+                    f"retried", RuntimeWarning, stacklevel=2)
+            return False
+        return True
+
+    def flush(self) -> bool:
+        """Final durable attempt + stale-tmp sweep; True when clean.
+
+        Safe to call from ``finally`` blocks: never raises for I/O
+        reasons, and a pathless (in-memory) checkpoint is a no-op.
+        """
+        if self.path is None:
+            return True
+        clean = True
+        if self.dirty:
+            clean = self.save_soft()
+        if clean:
+            _clean_stale_tmps(self.path)
+        return clean
 
     def __len__(self) -> int:
         return len(self.records)

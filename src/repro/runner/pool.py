@@ -41,10 +41,14 @@ import threading
 import time
 import traceback
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from statistics import median
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +60,7 @@ __all__ = [
     "UnitTask", "UnitTimeout", "error_report", "soft_time_limit",
     "call_with_wall_clock_limit", "unit_seed", "seed_unit_rngs",
     "run_unit_attempts", "execute_unit_task", "run_units_parallel",
+    "validate_unit_record", "quarantine_record",
 ]
 
 _TRACEBACK_TAIL_LINES = 8
@@ -69,6 +74,12 @@ class UnitTimeout(Exception):
 # Timeout guards
 # ---------------------------------------------------------------------------
 
+def sigalrm_usable() -> bool:
+    """True when a SIGALRM timer can be armed right here, right now."""
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
 @contextmanager
 def soft_time_limit(seconds: Optional[float]):
     """Raise :class:`UnitTimeout` in the block after ``seconds``.
@@ -77,11 +88,12 @@ def soft_time_limit(seconds: Optional[float]):
     interpreter and on platforms that have the signal. Elsewhere a
     requested limit degrades to an *unguarded* run with a
     :class:`RuntimeWarning` — a soft limit, not a hard guarantee.
-    Worker processes use :func:`call_with_wall_clock_limit` instead.
+    Callers that must enforce the limit everywhere (the unit retry
+    loop) route through :func:`call_with_wall_clock_limit` when
+    :func:`sigalrm_usable` says this guard cannot arm.
     """
     wanted = seconds is not None and seconds > 0
-    usable = (wanted and hasattr(signal, "SIGALRM")
-              and threading.current_thread() is threading.main_thread())
+    usable = wanted and sigalrm_usable()
     if not usable:
         if wanted:
             warnings.warn(
@@ -185,7 +197,13 @@ def error_report(exc: BaseException) -> dict:
 
 @dataclass
 class UnitTask:
-    """Picklable description of one pending unit of work."""
+    """Picklable description of one pending unit of work.
+
+    ``dispatch`` counts how many times the supervisor has handed this
+    unit to a worker (1 = first try); the chaos injector keys its
+    fire-then-stand-down schedule on it. ``chaos`` is the optional
+    :class:`~repro.chaos.plan.ChaosPlan` shipped to the worker.
+    """
 
     exp_id: str
     app: Optional[object]        # GPUApp or None for whole-experiment units
@@ -194,6 +212,8 @@ class UnitTask:
     backoff_s: float = 0.5
     timeout_s: Optional[float] = None
     observe: bool = False        # ship span tree + metrics in the record
+    dispatch: int = 1
+    chaos: Optional[object] = None
 
 
 def run_unit_attempts(exp_id: str, app, key: str, *,
@@ -250,8 +270,15 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
             with use_tracer(tracer), use_registry(registry):
                 return _call_driver()
 
+        # Timeouts are enforced everywhere: SIGALRM where it can arm,
+        # the portable wall-clock guard where it can't (workers, any
+        # non-main thread, platforms without the signal) — a requested
+        # limit never silently degrades to an unbounded run.
+        wall_guard = use_wall_clock_guard or (
+            timeout_s is not None and timeout_s > 0
+            and not sigalrm_usable())
         try:
-            if use_wall_clock_guard:
+            if wall_guard:
                 result = call_with_wall_clock_limit(_invoke, timeout_s)
             else:
                 with soft_time_limit(timeout_s):
@@ -312,7 +339,20 @@ def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
     from the parent terminal) with the span-sourced driver duration,
     so a watcher sees per-unit timings as they land, not only the
     parent's completion-order summary.
+
+    When the task carries a :class:`~repro.chaos.plan.ChaosPlan`, its
+    scheduled worker fault is applied here: SIGKILL/``os._exit`` never
+    return (the supervisor sees a broken pool and re-dispatches), a
+    hang stalls before the unit (the straggler detector's prey), and
+    a corrupt-result fault mangles the record on the way out (caught
+    by :func:`validate_unit_record` in the parent).
     """
+    chaos_event = None
+    if task.chaos is not None:
+        chaos_event = task.chaos.worker_event(task.key, task.dispatch)
+        if chaos_event is not None:
+            from ..chaos.inject import apply_worker_event
+            apply_worker_event(chaos_event, task.chaos.hang_s)
     record = run_unit_attempts(
         task.exp_id, task.app, task.key,
         max_attempts=task.max_attempts,
@@ -321,6 +361,9 @@ def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
         use_wall_clock_guard=True,
         observe=task.observe,
     )
+    if chaos_event is not None and chaos_event.kind == "corrupt":
+        from ..chaos.inject import corrupt_record
+        record = corrupt_record(record)
     duration = record.get("unit_wall_s", record["wall_s"])
     print(f"[worker {os.getpid()}] {record['status']} {task.key} "
           f"in {duration:.3f}s", file=sys.stderr, flush=True)
@@ -328,32 +371,252 @@ def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
 
 
 # ---------------------------------------------------------------------------
-# Parallel dispatch
+# Record integrity & quarantine
 # ---------------------------------------------------------------------------
 
+def validate_unit_record(record) -> Optional[str]:
+    """Why a worker-returned record is unusable, or None when sound.
+
+    Workers are processes; a bad IPC layer, a chaos ``corrupt`` fault,
+    or a future version skew can hand the parent structural garbage.
+    Checks are structural only (shape, field types, payload
+    round-trip) — never semantic, so a legitimately failed unit's
+    record passes.
+    """
+    if not isinstance(record, dict):
+        return f"record is {type(record).__name__}, expected dict"
+    status = record.get("status")
+    if status not in ("ok", "failed"):
+        return f"record has bad status {status!r}"
+    attempts = record.get("attempts")
+    # 0 is legal: quarantine records count dispatches, not attempts.
+    if not isinstance(attempts, int) or attempts < 0:
+        return f"record has bad attempts {attempts!r}"
+    if status == "ok":
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            return f"ok record payload is {type(payload).__name__}"
+        try:
+            from ..experiments.base import ExperimentResult
+            ExperimentResult.from_dict(payload)
+        except Exception as exc:  # noqa: BLE001 — any break is corruption
+            return f"payload does not round-trip ({exc})"
+    return None
+
+
+def quarantine_record(key: str, dispatches: int, reason: str,
+                      wall_s: float) -> dict:
+    """Structured ``failed`` record for a poison unit.
+
+    A unit that repeatedly kills its worker (or keeps returning
+    garbage) is quarantined instead of sinking the sweep: the sweep
+    completes, the merge carries a failure note, and downstream
+    consumers (the fidelity scorecard) grade its claims ``not-run``.
+    """
+    return {
+        "status": "failed",
+        "attempts": 0,
+        "wall_s": round(wall_s, 3),
+        "unit_wall_s": 0.0,
+        "payload": None,
+        "error": {
+            "type": "WorkerCrash",
+            "message": f"unit {key} quarantined after {dispatches} "
+                       f"dispatches: {reason}",
+            "traceback_tail": "",
+        },
+        "quarantined": True,
+        "dispatches": dispatches,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Supervised parallel dispatch
+# ---------------------------------------------------------------------------
+
+#: Default supervision knobs (overridable per SweepRunner).
+DEFAULT_MAX_DISPATCHES = 3
+DEFAULT_STRAGGLER_K = 4.0
+DEFAULT_STRAGGLER_FLOOR_S = 30.0
+
+_POLL_S = 0.05  # supervisor wake-up cadence for straggler checks
+
+
 def run_units_parallel(tasks: Sequence[UnitTask], jobs: int,
-                       on_record: Callable[[str, dict], None]) -> None:
-    """Execute ``tasks`` on a process pool, streaming records back.
+                       on_record: Callable[[str, dict], None],
+                       *,
+                       max_dispatches: int = DEFAULT_MAX_DISPATCHES,
+                       straggler_k: float = DEFAULT_STRAGGLER_K,
+                       straggler_floor_s: float = DEFAULT_STRAGGLER_FLOOR_S,
+                       on_event: Optional[Callable[[str, str], None]] = None,
+                       ) -> None:
+    """Execute ``tasks`` on a *supervised* process pool.
 
     ``on_record(key, record)`` is invoked in the parent as each unit
     finishes (completion order — the caller's merge is responsible for
-    determinism). If the callback raises (e.g. a KeyboardInterrupt
-    from an interactive kill), pending tasks are cancelled, whatever
-    already completed stays recorded, and the exception propagates so
-    a later ``--resume`` picks up exactly where the sweep stopped.
+    determinism). On top of plain dispatch, the supervisor:
+
+    * detects a broken pool (a worker died to SIGKILL, ``os._exit``,
+      or the OOM killer), rebuilds the executor, and re-dispatches the
+      in-flight units with bounded retries (``max_dispatches`` total
+      hand-outs per unit);
+    * quarantines poison units — a unit whose dispatch budget runs out
+      is recorded as a structured ``failed`` result
+      (:func:`quarantine_record`) instead of sinking the sweep;
+    * re-queues stragglers: a unit in flight longer than
+      ``max(straggler_k × median completed unit time,
+      straggler_floor_s)`` is dispatched a second time; units are
+      seeded by key, so duplicate execution is idempotent and the
+      first record wins;
+    * rejects corrupt records (:func:`validate_unit_record`) the same
+      way as crashes — bounded re-dispatch, then quarantine.
+
+    If the caller's callback raises (KeyboardInterrupt, the graceful
+    SIGTERM drain), completed-but-uncollected futures are drained into
+    ``on_record`` first, pending work is cancelled, and the exception
+    propagates so a later ``--resume`` picks up exactly where the
+    sweep stopped.
+
+    ``on_event(kind, key)`` observes supervision actions —
+    ``redispatch`` / ``straggler`` / ``quarantine`` — for stats and
+    metrics.
     """
     if not tasks:
         return
     workers = max(1, min(int(jobs), len(tasks)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {pool.submit(execute_unit_task, task) for task in tasks}
-        try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
+    notify = on_event or (lambda kind, key: None)
+
+    queue = deque(tasks)
+    in_flight: Dict[object, UnitTask] = {}
+    submitted_at: Dict[object, float] = {}
+    dispatches: Dict[str, int] = {task.key: 0 for task in tasks}
+    done_keys: set = set()
+    requeued: set = set()
+    completed_walls: List[float] = []
+    started = time.monotonic()
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def _submit(task: UnitTask) -> None:
+        dispatches[task.key] += 1
+        shipped = replace(task, dispatch=dispatches[task.key])
+        future = pool.submit(execute_unit_task, shipped)
+        in_flight[future] = task
+        submitted_at[future] = time.monotonic()
+
+    def _retire_or_quarantine(task: UnitTask, reason: str) -> None:
+        """Bounded retry for a unit whose dispatch went wrong."""
+        if task.key in done_keys:
+            return
+        if dispatches[task.key] >= max_dispatches:
+            done_keys.add(task.key)
+            notify("quarantine", task.key)
+            on_record(task.key, quarantine_record(
+                task.key, dispatches[task.key], reason,
+                wall_s=time.monotonic() - started))
+        else:
+            notify("redispatch", task.key)
+            queue.append(task)
+
+    def _rebuild_after_break(reason: str) -> None:
+        """A worker died; blame every in-flight unit and start fresh.
+
+        The executor cannot say which unit killed the worker, so all
+        in-flight units take a dispatch strike — the window is at most
+        ``workers`` wide, so innocents are exonerated within a couple
+        of rebuilds while a true poison unit runs out of budget.
+        """
+        nonlocal pool
+        pool.shutdown(wait=False, cancel_futures=True)
+        for task in list(in_flight.values()):
+            _retire_or_quarantine(task, reason)
+        in_flight.clear()
+        submitted_at.clear()
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    def _check_stragglers() -> None:
+        if not completed_walls:
+            return
+        limit = max(straggler_k * median(completed_walls),
+                    straggler_floor_s)
+        now = time.monotonic()
+        for future, task in list(in_flight.items()):
+            if (now - submitted_at[future] > limit
+                    and task.key not in requeued
+                    and task.key not in done_keys
+                    and dispatches[task.key] < max_dispatches):
+                requeued.add(task.key)
+                notify("straggler", task.key)
+                queue.append(task)
+
+    def _drain_completed() -> None:
+        """Record whatever already finished before propagating an abort."""
+        for future, task in list(in_flight.items()):
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                key, record = future.result(timeout=0)
+            except BaseException:  # noqa: BLE001 — draining, not failing
+                continue
+            if key in done_keys or validate_unit_record(record):
+                continue
+            done_keys.add(key)
+            try:
+                on_record(key, record)
+            except BaseException:  # noqa: BLE001 — callback is the aborter
+                break
+
+    try:
+        while queue or in_flight:
+            while queue and len(in_flight) < 2 * workers:
+                task = queue.popleft()
+                if task.key in done_keys:
+                    continue  # straggler duplicate that got obsoleted
+                try:
+                    _submit(task)
+                except BrokenExecutor:
+                    queue.appendleft(task)
+                    dispatches[task.key] -= 1  # submit never reached a worker
+                    _rebuild_after_break("worker pool broke on submit")
+            if not in_flight:
+                continue
+            done, _ = wait(set(in_flight), timeout=_POLL_S,
+                           return_when=FIRST_COMPLETED)
+            broke = None
+            for future in done:
+                task = in_flight.pop(future)
+                submitted_at.pop(future, None)
+                try:
                     key, record = future.result()
-                    on_record(key, record)
-        except BaseException:
-            for future in pending:
-                future.cancel()
-            raise
+                except (BrokenProcessPool, BrokenExecutor, OSError) as exc:
+                    # The worker died mid-unit. Every other in-flight
+                    # future is dead too; finish this batch then
+                    # rebuild once.
+                    broke = f"worker died: {type(exc).__name__}: {exc}"
+                    _retire_or_quarantine(task, broke)
+                    continue
+                except Exception as exc:  # noqa: BLE001 — e.g. unpicklable
+                    _retire_or_quarantine(
+                        task, f"dispatch failed: {error_report(exc)['message']}")
+                    continue
+                if key in done_keys:
+                    continue  # late straggler duplicate; first record won
+                reason = validate_unit_record(record)
+                if reason is not None:
+                    _retire_or_quarantine(task, f"corrupt record: {reason}")
+                    continue
+                done_keys.add(key)
+                completed_walls.append(
+                    float(record.get("unit_wall_s") or record.get("wall_s")
+                          or 0.0))
+                on_record(key, record)
+            if broke is not None:
+                _rebuild_after_break(broke)
+            else:
+                _check_stragglers()
+    except BaseException:
+        _drain_completed()
+        for future in in_flight:
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=False, cancel_futures=True)

@@ -24,7 +24,10 @@ dead process.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -33,11 +36,24 @@ from ..experiments.registry import EXPERIMENTS, accepts_apps
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, trace_span
 from .checkpoint import Checkpoint, unit_key
-from .pool import (UnitTask, UnitTimeout, error_report, run_unit_attempts,
-                   run_units_parallel, soft_time_limit)
+from .pool import (DEFAULT_MAX_DISPATCHES, DEFAULT_STRAGGLER_FLOOR_S,
+                   DEFAULT_STRAGGLER_K, UnitTask, UnitTimeout, error_report,
+                   run_unit_attempts, run_units_parallel, soft_time_limit)
 
-__all__ = ["SweepRunner", "SweepStats", "UnitTimeout", "soft_time_limit",
-           "error_report"]
+__all__ = ["SweepRunner", "SweepStats", "SweepInterrupted", "UnitTimeout",
+           "soft_time_limit", "error_report"]
+
+
+class SweepInterrupted(BaseException):
+    """SIGTERM/SIGINT arrived; the sweep drained and checkpointed.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so driver-level
+    ``except Exception`` isolation can never swallow an operator's
+    kill. By the time this propagates out of :meth:`SweepRunner.run`,
+    completed units — including completed-but-uncollected worker
+    futures — are recorded and the checkpoint is flushed, so
+    ``--resume`` picks up cleanly.
+    """
 
 
 @dataclass
@@ -48,6 +64,9 @@ class SweepStats:
     skipped: int = 0    # units restored from the checkpoint
     failed: int = 0     # units that exhausted their attempts
     retried: int = 0    # extra attempts beyond the first, summed
+    quarantined: int = 0   # poison units recorded by the supervisor
+    redispatched: int = 0  # re-submissions after worker death/corruption
+    stragglers: int = 0    # duplicate dispatches of slow units
     sleeps: List[float] = field(default_factory=list)  # serial path only
 
 
@@ -86,6 +105,17 @@ class SweepRunner:
         sorted unit-key order, so the artifacts are deterministic at
         any ``jobs`` count (span *structure* and metrics exactly;
         timings are measurements).
+    chaos:
+        Optional :class:`~repro.chaos.plan.ChaosPlan` injecting
+        harness faults at the runner's boundaries — worker execution
+        (pool path only; killing the parent is the signal-drain test),
+        checkpoint saves, and post-unit/merge signals. The hardened
+        runner must produce byte-identical merged results under any
+        recoverable plan.
+    max_dispatches / straggler_k / straggler_floor_s:
+        Supervision knobs for the pool backend: total worker hand-outs
+        per unit before quarantine, and the straggler threshold
+        (``k × median completed unit time``, floored).
     """
 
     def __init__(self,
@@ -101,7 +131,11 @@ class SweepRunner:
                  on_unit_done: Optional[Callable[[str, dict], None]] = None,
                  trace_path: Optional[str] = None,
                  metrics_path: Optional[str] = None,
-                 observe: bool = False):
+                 observe: bool = False,
+                 chaos=None,
+                 max_dispatches: int = DEFAULT_MAX_DISPATCHES,
+                 straggler_k: float = DEFAULT_STRAGGLER_K,
+                 straggler_floor_s: float = DEFAULT_STRAGGLER_FLOOR_S):
         self.experiments = list(experiments or EXPERIMENTS)
         unknown = [e for e in self.experiments if e not in EXPERIMENTS]
         if unknown:
@@ -123,6 +157,12 @@ class SweepRunner:
         self.observe = bool(observe or trace_path or metrics_path)
         self.tracer: Optional[Tracer] = None
         self.metrics: Optional[MetricsRegistry] = None
+        self.chaos = chaos
+        if max_dispatches < 1:
+            raise ValueError("max_dispatches must be >= 1")
+        self.max_dispatches = int(max_dispatches)
+        self.straggler_k = float(straggler_k)
+        self.straggler_floor_s = float(straggler_floor_s)
         if resume:
             if checkpoint_path is None:
                 raise ValueError("resume requires a checkpoint path")
@@ -133,6 +173,9 @@ class SweepRunner:
                 meta={"experiments": self.experiments,
                       "apps": [app.name for app in self.apps]})
             self.checkpoint.save()
+        if chaos is not None:
+            from ..chaos.inject import checkpoint_chaos_hook
+            self.checkpoint.chaos_hook = checkpoint_chaos_hook(chaos)
         self.stats = SweepStats()
         self.results: List[ExperimentResult] = []
 
@@ -166,6 +209,38 @@ class SweepRunner:
 
     # -- execution --------------------------------------------------------
 
+    @contextmanager
+    def _graceful_signals(self):
+        """Convert SIGTERM/SIGINT into :class:`SweepInterrupted`.
+
+        Only arms on the main thread (signal handlers can't be
+        installed elsewhere); previous handlers are restored on exit.
+        The conversion is what makes draining possible: the exception
+        surfaces at a bytecode boundary in the dispatch loop, which
+        then records completed futures and flushes the checkpoint
+        before letting it propagate.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def _handler(signum, frame):
+            name = signal.Signals(signum).name
+            raise SweepInterrupted(
+                f"{name} received; completed units checkpointed")
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except (OSError, ValueError):  # platform without the signal
+                pass
+        try:
+            yield
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+
     def run(self) -> List[ExperimentResult]:
         """Execute the sweep; return merged results in experiment order.
 
@@ -174,23 +249,48 @@ class SweepRunner:
         installs an ambient tracer (the benchmark harness, a profiling
         session) gets the runner's stage timings for free; with no
         tracer installed the spans are no-ops.
+
+        Interrupts are drained, never dropped: SIGTERM/SIGINT (and any
+        exception out of the dispatch loop) pass through a ``finally``
+        that flushes every recorded unit to the checkpoint, so
+        ``--resume`` always starts from the true completion frontier.
         """
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
         with trace_span("sweep_plan"):
             todo = self.pending()
-        with trace_span("sweep_execute", units=len(todo), jobs=self.jobs):
-            if self.jobs > 1 and len(todo) > 1:
-                tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
-                                  max_attempts=self.max_attempts,
-                                  backoff_s=self.backoff_s,
-                                  timeout_s=self.timeout_s,
-                                  observe=self.observe)
-                         for exp_id, app, key in todo]
-                run_units_parallel(tasks, self.jobs, self._record)
-            else:
-                for exp_id, app, key in todo:
-                    self._record(key, self._run_unit(exp_id, app, key))
+        with trace_span("sweep_execute", units=len(todo), jobs=self.jobs), \
+                self._graceful_signals():
+            try:
+                if self.jobs > 1 and len(todo) > 1:
+                    tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
+                                      max_attempts=self.max_attempts,
+                                      backoff_s=self.backoff_s,
+                                      timeout_s=self.timeout_s,
+                                      observe=self.observe,
+                                      chaos=self.chaos)
+                             for exp_id, app, key in todo]
+                    run_units_parallel(
+                        tasks, self.jobs, self._record,
+                        max_dispatches=self.max_dispatches,
+                        straggler_k=self.straggler_k,
+                        straggler_floor_s=self.straggler_floor_s,
+                        on_event=self._on_pool_event)
+                else:
+                    for exp_id, app, key in todo:
+                        self._record(key, self._run_unit(exp_id, app, key))
+            finally:
+                # Completed-but-unflushed units must survive any exit
+                # path (KeyboardInterrupt, SIGTERM drain, a crashed
+                # save earlier in the run).
+                self.checkpoint.flush()
+        if self.chaos is not None:
+            event = self.chaos.merge_event()
+            if event is not None:
+                from ..chaos.inject import send_self_signal
+                with self._graceful_signals():
+                    send_self_signal(event.kind)
+                    time.sleep(0)  # deliver while the handler is armed
         with trace_span("sweep_merge"):
             results = [self._merge(exp_id) for exp_id in self.experiments]
         if self.observe:
@@ -203,15 +303,29 @@ class SweepRunner:
         self.results = results
         return results
 
+    def _on_pool_event(self, kind: str, key: str) -> None:
+        """Supervision actions from the pool, folded into stats."""
+        if kind == "redispatch":
+            self.stats.redispatched += 1
+        elif kind == "straggler":
+            self.stats.stragglers += 1
+        elif kind == "quarantine":
+            self.stats.quarantined += 1
+
     def _record(self, key: str, record: dict) -> None:
         """Account for one finished unit and persist it."""
         self.stats.run += 1
-        self.stats.retried += record["attempts"] - 1
+        self.stats.retried += max(0, record.get("attempts", 1) - 1)
         if record["status"] == "failed":
             self.stats.failed += 1
         self.checkpoint.record(key, record)
         if self.on_unit_done is not None:
             self.on_unit_done(key, record)
+        if self.chaos is not None:
+            event = self.chaos.sweep_event(key)
+            if event is not None:
+                from ..chaos.inject import send_self_signal
+                send_self_signal(event.kind)
 
     def _run_unit(self, exp_id: str, app, key: str) -> dict:
         """Serial (in-process) execution of one unit."""
@@ -250,6 +364,8 @@ class SweepRunner:
         for key in sorted(self.checkpoint.records):
             record = self.checkpoint.records[key]
             status = record.get("status", "?")
+            if record.get("quarantined"):
+                status = "quarantined"
             status_totals[status] = status_totals.get(status, 0) + 1
             obs = record.get("obs")
             if not obs:
@@ -265,6 +381,24 @@ class SweepRunner:
                 "sweep_units_total", {"status": status},
                 help_text="sweep units by final status").inc(
                     status_totals[status])
+        # Failure-path supervision counters: only published when they
+        # fired, so a fault-free sweep's snapshot is unchanged (and
+        # the golden metrics fixture stays byte-stable).
+        for family, help_text, value in (
+                ("sweep_redispatches_total",
+                 "unit re-dispatches after worker death or corrupt "
+                 "records", self.stats.redispatched),
+                ("sweep_straggler_requeues_total",
+                 "duplicate dispatches of units past the straggler "
+                 "threshold", self.stats.stragglers),
+                ("sweep_quarantined_units_total",
+                 "poison units recorded as structured failures",
+                 self.stats.quarantined),
+                ("sweep_checkpoint_save_failures_total",
+                 "checkpoint saves absorbed by the soft-failure path",
+                 self.checkpoint.save_failures)):
+            if value:
+                registry.counter(family, help_text=help_text).inc(value)
         # Stamp the true sweep duration onto the root before finish()
         # (which only fills in durations that are still unset). CPU
         # time is the parent process's: worker CPU lives in the unit
@@ -349,6 +483,14 @@ class SweepRunner:
         summary = {k: sum(vs) / len(vs) for k, vs in summary_acc.items()}
         summary["units_ok"] = float(len(ok))
         summary["units_failed"] = float(len(parts) - len(ok))
+        quarantined = [name for name in order
+                       if parts[name] is not None
+                       and parts[name].get("quarantined")]
+        if quarantined:
+            # Conditional key: fault-free merges (and their golden
+            # fixtures) are byte-unchanged; the fidelity extractor
+            # reads it to grade quarantine-starved claims not-run.
+            summary["units_quarantined"] = float(len(quarantined))
 
         notes = [first.notes] if first.notes else []
         for name in order:
@@ -356,8 +498,9 @@ class SweepRunner:
             if rec is None or rec["status"] == "ok":
                 continue
             err = rec["error"] or {}
+            label = "QUARANTINED" if rec.get("quarantined") else "FAILED"
             notes.append(
-                f"FAILED {exp_id}::{name}: {err.get('type', '?')}: "
+                f"{label} {exp_id}::{name}: {err.get('type', '?')}: "
                 f"{err.get('message', '')} (attempts={rec['attempts']}, "
                 f"wall={rec['wall_s']}s)")
 
@@ -397,13 +540,31 @@ class SweepRunner:
 
     @property
     def failed_units(self) -> List[str]:
+        """Units that exhausted their attempts, quarantines excluded.
+
+        Quarantined units are a supervision outcome, not a driver
+        failure: consumers that hard-fail on ``failed_units`` (the
+        bench harness, the CLI's exit-3 contract) treat them
+        separately via :attr:`quarantined_units`.
+        """
         return [key for key, rec in sorted(self.checkpoint.records.items())
-                if rec["status"] == "failed"]
+                if rec["status"] == "failed"
+                and not rec.get("quarantined")]
+
+    @property
+    def quarantined_units(self) -> List[str]:
+        """Poison units the supervisor recorded as structured failures."""
+        return [key for key, rec in sorted(self.checkpoint.records.items())
+                if rec.get("quarantined")]
 
     def report_line(self) -> str:
         s = self.stats
         line = (f"sweep: {s.run} run, {s.skipped} resumed, "
                 f"{s.failed} failed, {s.retried} retries")
+        if s.quarantined or s.redispatched or s.stragglers:
+            line += (f", {s.quarantined} quarantined, "
+                     f"{s.redispatched} redispatched, "
+                     f"{s.stragglers} straggler requeues")
         if self.jobs > 1:
             line += f" (jobs={self.jobs})"
         if self.checkpoint.path:

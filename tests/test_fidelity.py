@@ -275,9 +275,11 @@ _RECORD_CACHE = {}
 
 def _tiny_record_bytes(jobs):
     if jobs not in _RECORD_CACHE:
-        artifacts, failed = run_scale(SCALES["tiny"], jobs=jobs)
+        artifacts, failed, quarantined = run_scale(SCALES["tiny"],
+                                                   jobs=jobs)
         record = build_record(evaluate_claims(artifacts), "tiny",
                               failed_units=failed,
+                              quarantined_units=quarantined,
                               created_utc=PINNED_UTC)
         _RECORD_CACHE[jobs] = canonical_json(record)
     return _RECORD_CACHE[jobs]

@@ -9,6 +9,8 @@ import warnings
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.experiments import ExperimentResult, accepts_apps
 from repro.experiments.registry import EXPERIMENTS
@@ -225,6 +227,146 @@ class TestCheckpointSchema:
         with pytest.raises(CheckpointError):
             SweepRunner(experiments=["toy-whole"], apps=APPS,
                         checkpoint_path=str(path), resume=True)
+
+
+class TestCheckpointDurability:
+    """Durable saves: orphan sweeping, soft failures, torn-write safety."""
+
+    def _record(self, ck, key="a::*"):
+        ck.record(key, {"status": "ok", "attempts": 1, "wall_s": 0.1,
+                        "payload": None, "error": None})
+
+    def test_orphaned_tmp_swept_on_load(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path=str(path))
+        self._record(ck)
+        # debris a writer killed mid-save would leave behind
+        orphan = tmp_path / ".ck.json.deadwriter42.tmp"
+        orphan.write_text('{"schema_version": 2, "rec')
+        # a different checkpoint's namespace must NOT be touched
+        other = tmp_path / ".other.json.w1.tmp"
+        other.write_text("not ours")
+        loaded = Checkpoint.load(str(path))
+        assert loaded.get("a::*")["status"] == "ok"
+        assert not orphan.exists()
+        assert other.exists()
+
+    def test_orphaned_tmp_swept_on_open_for_writing(self, tmp_path):
+        orphan = tmp_path / ".ck.json.stale.tmp"
+        orphan.write_text("junk")
+        Checkpoint(path=str(tmp_path / "ck.json"))
+        assert not orphan.exists()
+
+    def test_save_failure_is_soft_and_retried(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path=str(path))
+        boom = {"on": True}
+
+        def failing_hook(checkpoint, payload):
+            if boom["on"]:
+                raise OSError(28, "no space left on device")
+
+        ck.chaos_hook = failing_hook
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self._record(ck)          # save fails softly
+        assert ck.dirty and ck.save_failures == 1
+        assert ck.get("a::*") is not None   # record survived in memory
+        boom["on"] = False
+        assert ck.flush()                   # retry succeeds
+        assert not ck.dirty
+        assert Checkpoint.load(str(path)).get("a::*")["status"] == "ok"
+
+    def test_flush_never_raises_even_when_disk_stays_broken(self, tmp_path):
+        ck = Checkpoint(path=str(tmp_path / "ck.json"))
+
+        def always_fails(checkpoint, payload):
+            raise OSError(28, "no space left on device")
+
+        ck.chaos_hook = always_fails
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            self._record(ck)
+            assert ck.flush() is False      # reported, not raised
+
+    def test_no_tmp_files_left_after_normal_saves(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ck = Checkpoint(path=str(path))
+        for i in range(5):
+            self._record(ck, key=f"e{i}::*")
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "ck.json"]
+        assert leftovers == []
+
+
+class TestCheckpointTruncation:
+    """Satellite: a checkpoint torn at ANY byte offset either resumes
+    cleanly or raises a precise CheckpointError — never a raw
+    json.JSONDecodeError or KeyError."""
+
+    def _golden_text(self, tmp_path):
+        path = tmp_path / "full.json"
+        ck = Checkpoint(path=str(path), meta={"experiments": ["toy-whole"]})
+        ck.record("toy-whole::*",
+                  {"status": "ok", "attempts": 1, "wall_s": 0.1,
+                   "payload": None, "error": None})
+        ck.record("toy-perapp::AAA",
+                  {"status": "failed", "attempts": 2, "wall_s": 0.2,
+                   "payload": None,
+                   "error": {"type": "ValueError", "message": "x",
+                             "traceback_tail": ""}})
+        return path.read_text()
+
+    def test_every_truncation_offset_is_clean(self, tmp_path):
+        full = self._golden_text(tmp_path)
+        victim = tmp_path / "ck.json"
+        for offset in range(len(full)):
+            victim.write_text(full[:offset])
+            try:
+                loaded = Checkpoint.load(str(victim))
+            except CheckpointError:
+                continue                      # precise, typed failure
+            except Exception as exc:  # noqa: BLE001
+                pytest.fail(f"offset {offset}: leaked "
+                            f"{type(exc).__name__}: {exc}")
+            # a parse that happens to succeed must be a usable store
+            assert isinstance(loaded.records, dict)
+        # the untruncated file always loads
+        victim.write_text(full)
+        assert len(Checkpoint.load(str(victim)).records) == 2
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_random_content_random_truncation(self, tmp_path, data):
+        # Same property over arbitrary checkpoint content: whatever the
+        # records are and wherever the tear lands, the failure mode is
+        # CheckpointError (or a clean load), never a leaked parser error.
+        keys = data.draw(st.lists(
+            st.text(st.characters(min_codepoint=33, max_codepoint=126),
+                    min_size=1, max_size=12),
+            min_size=1, max_size=4, unique=True))
+        path = tmp_path / f"h{data.draw(st.integers(0, 10**6))}.json"
+        ck = Checkpoint(path=str(path))
+        for key in keys:
+            ck.record(key, {"status": "ok", "attempts": 1, "wall_s": 0.0,
+                            "payload": None, "error": None})
+        full = path.read_text()
+        offset = data.draw(st.integers(0, len(full)))
+        path.write_text(full[:offset])
+        try:
+            loaded = Checkpoint.load(str(path))
+        except CheckpointError:
+            return
+        assert sorted(loaded.records) == sorted(keys)
+
+    def test_truncated_resume_via_runner_is_exit2_material(self, tmp_path,
+                                                           toy_registry):
+        full = self._golden_text(tmp_path)
+        victim = tmp_path / "ck.json"
+        victim.write_text(full[: 2 * len(full) // 3])
+        with pytest.raises(CheckpointError):
+            SweepRunner(experiments=["toy-whole"], apps=APPS,
+                        checkpoint_path=str(victim), resume=True)
 
 
 class TestSoftTimeLimit:
