@@ -21,7 +21,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from .memory import GlobalMemory
-from .stats import Encoders, Tally
+from .stats import Encoders, Tally, TallyBatch
 from .trace import AppTrace, BlockTrace, LaunchTrace
 from .warp import BARRIER, LANES, WarpCtx
 
@@ -107,6 +107,7 @@ def run_functional(app_name: str, mem: GlobalMemory,
     """
     initial_image = mem.snapshot()
     tally = Tally()
+    batch = TallyBatch(encoders, tally)
     trace = AppTrace(app_name=app_name, const_base=const_base,
                      const_size=const_size)
 
@@ -130,7 +131,7 @@ def run_functional(app_name: str, mem: GlobalMemory,
                     block_idx=block_idx, warp_in_block=w,
                     warps_per_block=launch.warps_per_block,
                     n_blocks=launch.n_blocks,
-                    params={}, profiler=profiler,
+                    params={}, profiler=profiler, batch=batch,
                 )
                 for w in range(launch.warps_per_block)
             ]
@@ -155,4 +156,5 @@ def run_functional(app_name: str, mem: GlobalMemory,
         next_code += -(-binary_bytes // 128) * 128
 
     trace.initial_image = initial_image
+    batch.flush()
     return FunctionalResult(trace=trace, tally=tally)

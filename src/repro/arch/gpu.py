@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -29,9 +29,8 @@ from .isa import OpClass
 from .memory import GlobalMemory
 from .noc import Crossbar
 from .scheduler import WarpSlot, make_scheduler
-from .stats import Encoders, Tally, TimingStats
+from .stats import Encoders, Tally, TallyBatch, TimingStats
 from .trace import AppTrace, InstRecord, MemSpace
-from ..core.bitutils import INST_BITS, hamming_weight, popcount32, popcount64
 from ..core.spaces import Unit
 from ..obs.tracer import trace_span
 
@@ -161,52 +160,28 @@ class GPUReplay:
         #: optional :class:`repro.faults.FaultModel` injected into the
         #: memory image's line reads, L2 fills and the NoC flit path.
         self.fault_model = fault_model
-        self._inst_bits: Dict[int, Tuple[int, int]] = {}
+        self._batch: Optional[TallyBatch] = None
 
     # ------------------------------------------------------------------
     # Tally helpers
     # ------------------------------------------------------------------
 
-    def _tally_inst_word(self, tally: Tally, unit: Unit, word: int,
+    def _tally_inst_word(self, unit: Unit, word: int,
                          is_store: bool, count: int = 1) -> None:
-        """Fast path: cache per-word bit counts (streams repeat heavily)."""
-        entry = self._inst_bits.get(word)
-        if entry is None:
-            arr = np.asarray([word], dtype=np.uint64)
-            ones_base = int(popcount64(arr)[0])
-            ones_isa = int(popcount64(
-                self.encoders.isa.encode_words(arr))[0])
-            entry = self._inst_bits[word] = (ones_base, ones_isa)
-        ones_base, ones_isa = entry
-        total = INST_BITS * count
-        for variant, ones in (("base", ones_base), ("NV", ones_base),
-                              ("VS", ones_base), ("ISA", ones_isa),
-                              ("ALL", ones_isa)):
-            tally.add(unit, variant, is_store,
-                      total - ones * count, ones * count)
+        """Record an instruction-word access for deferred batch tallying."""
+        self._batch.add_inst(unit, word, is_store, count)
 
     def _line_words(self, mem: GlobalMemory, line_addr: int) -> np.ndarray:
         # Through mem.read_line so an attached fault model sees (and,
         # for destructive modes, damages) every line-granularity read.
+        # read_line returns a fresh copy, so deferred tallying is safe.
         raw = mem.read_line(line_addr, self.config.l1_line_bytes)
         return raw.view(np.uint32)
 
-    def _tally_line(self, tally: Tally, unit: Unit, line_words: np.ndarray,
+    def _tally_line(self, unit: Unit, line_words: np.ndarray,
                     is_store: bool, subset: Optional[np.ndarray] = None) -> None:
-        """Tally a cache line (or a word subset of it) under all variants."""
-        variants = self.encoders.data_variants(unit, line_words, "line")
-        if subset is None:
-            total = line_words.size * 32
-            for variant, encoded in variants.items():
-                ones = hamming_weight(encoded)
-                tally.add(unit, variant, is_store, total - ones, ones)
-        else:
-            if subset.size == 0:
-                return
-            total = subset.size * 32
-            for variant, encoded in variants.items():
-                ones = int(popcount32(encoded[subset]).sum())
-                tally.add(unit, variant, is_store, total - ones, ones)
+        """Record a cache-line access for deferred batch tallying."""
+        self._batch.add_line(unit, line_words, is_store, subset)
 
     def _line_payload_variants(self, line_words: np.ndarray,
                                is_inst: bool) -> Dict[str, np.ndarray]:
@@ -225,8 +200,14 @@ class GPUReplay:
     # ------------------------------------------------------------------
 
     def _l2_access(self, state, sm: _SM, line_addr: int, is_store: bool,
-                   is_inst: bool, now: int) -> int:
-        """Access the L2; returns completion latency from ``now``."""
+                   is_inst: bool, now: int,
+                   line_words: Optional[np.ndarray] = None) -> int:
+        """Access the L2; returns completion latency from ``now``.
+
+        ``line_words`` lets a fault-free caller share one batched line
+        gather; with a fault model attached callers must leave it None
+        so every read goes through the model's corruption sequence.
+        """
         cfg = self.config
         mem, tally, noc, l2_banks, dram, timing = state
         bank_idx = noc.bank_of(line_addr, cfg.l2_line_bytes)
@@ -243,22 +224,23 @@ class GPUReplay:
             if victim is not None:
                 # Dirty writeback to DRAM: off-chip, transparent to BVF.
                 dram.service(now + latency, victim)
-            line_words = self._line_words(mem, line_addr)
+            fill_words = (self._line_words(mem, line_addr)
+                          if line_words is None else line_words)
             if is_inst:
-                words64 = np.ascontiguousarray(line_words).view(np.uint64)
+                words64 = np.ascontiguousarray(fill_words).view(np.uint64)
                 for word in words64:
-                    self._tally_inst_word(tally, Unit.L2, int(word),
-                                          is_store=True)
+                    self._tally_inst_word(Unit.L2, int(word), is_store=True)
             else:
-                self._tally_line(tally, Unit.L2, line_words, is_store=True)
+                self._tally_line(Unit.L2, fill_words, is_store=True)
         # The access itself: read for loads/fetches, write for stores.
-        line_words = self._line_words(mem, line_addr)
+        access_words = (self._line_words(mem, line_addr)
+                        if line_words is None else line_words)
         if is_inst:
-            words64 = np.ascontiguousarray(line_words).view(np.uint64)
+            words64 = np.ascontiguousarray(access_words).view(np.uint64)
             for word in words64:
-                self._tally_inst_word(tally, Unit.L2, int(word), is_store)
+                self._tally_inst_word(Unit.L2, int(word), is_store)
         else:
-            self._tally_line(tally, Unit.L2, line_words, is_store)
+            self._tally_line(Unit.L2, access_words, is_store)
         if is_store:
             bank.mark_dirty(line_addr)
         return latency
@@ -269,11 +251,11 @@ class GPUReplay:
         cfg = self.config
         mem, tally, noc, l2_banks, dram, timing = state
         # IFB: the fetched word is written into and read out of the buffer.
-        self._tally_inst_word(tally, Unit.IFB, rec.word, is_store=True)
-        self._tally_inst_word(tally, Unit.IFB, rec.word, is_store=False)
+        self._tally_inst_word(Unit.IFB, rec.word, is_store=True)
+        self._tally_inst_word(Unit.IFB, rec.word, is_store=False)
         addr = code_base + rec.pc * 8
         line_addr = sm.l1i.line_of(addr)
-        self._tally_inst_word(tally, Unit.L1I, rec.word, is_store=False)
+        self._tally_inst_word(Unit.L1I, rec.word, is_store=False)
         if sm.l1i.lookup(line_addr):
             return 0
         bank = noc.bank_of(line_addr, cfg.l2_line_bytes)
@@ -286,7 +268,7 @@ class GPUReplay:
         sm.l1i.fill(line_addr)
         words64 = np.ascontiguousarray(line_words).view(np.uint64)
         for word in words64:
-            self._tally_inst_word(tally, Unit.L1I, int(word), is_store=True)
+            self._tally_inst_word(Unit.L1I, int(word), is_store=True)
         return latency
 
     def _load(self, state, sm: _SM, rec: InstRecord, now: int) -> int:
@@ -299,19 +281,37 @@ class GPUReplay:
         if addrs.size == 0:
             return cfg.lat_alu
         line_bytes = cfg.l1_line_bytes
-        lines = np.unique(addrs - (addrs % line_bytes))
+        # Group lanes by line in one pass; the arrays are warp-sized,
+        # so plain dict/set grouping beats repeated np.unique calls.
+        by_line: Dict[int, set] = {}
+        for addr, off in zip((addrs - (addrs % line_bytes)).tolist(),
+                             ((addrs % line_bytes) >> 2).tolist()):
+            by_line.setdefault(addr, set()).add(off)
+        line_list = sorted(by_line)
+        faulty = self.fault_model is not None
+        rows = payload_rows = None
+        if not faulty:
+            # One batched gather serves every use of each line's bytes
+            # (hit tally, fill tally, L2 access, NoC payload): reads
+            # have no side effects without a fault model, so sharing
+            # them is byte-identical. The NoC payload variants encode
+            # as one (n_lines, words) block instead of per line.
+            rows = mem.read_lines(
+                np.asarray(line_list, dtype=np.int64),
+                line_bytes).view(np.uint32)
+            payload_rows = self.encoders.data_variant_blocks(
+                Unit.NOC, rows, "line")
         worst = 0
-        for line_addr in lines:
-            line_addr = int(line_addr)
-            in_line = addrs[(addrs >= line_addr)
-                            & (addrs < line_addr + line_bytes)]
-            subset = np.unique((in_line - line_addr) >> 2)
-            line_words = self._line_words(mem, line_addr)
+        for j, line_addr in enumerate(line_list):
+            subset = np.fromiter(sorted(by_line[line_addr]),
+                                 dtype=np.int64)
+            line_words = (rows[j] if rows is not None
+                          else self._line_words(mem, line_addr))
             hit = l1.lookup(line_addr)
             if unit is Unit.L1D:
                 timing.l1d_accesses += 1
             if hit:
-                self._tally_line(tally, unit, line_words, False, subset)
+                self._tally_line(unit, line_words, False, subset)
                 worst = max(worst, cfg.lat_l1_hit)
                 continue
             if unit is Unit.L1D:
@@ -320,13 +320,19 @@ class GPUReplay:
             bank = noc.bank_of(line_addr, cfg.l2_line_bytes)
             noc.send_request(sm.index, bank, line_addr)
             l2_latency = self._l2_access(state, sm, line_addr, False,
-                                         False, start)
-            noc.send_response(sm.index, bank,
-                              self._line_payload_variants(line_words, False))
+                                         False, start,
+                                         line_words=None if faulty
+                                         else line_words)
+            if payload_rows is not None:
+                payload = {v: np.ascontiguousarray(w[j]).view(np.uint8)
+                           for v, w in payload_rows.items()}
+            else:
+                payload = self._line_payload_variants(line_words, False)
+            noc.send_response(sm.index, bank, payload)
             l1.fill(line_addr)
             # Fill writes the whole line into L1, then the warp reads it.
-            self._tally_line(tally, unit, line_words, True)
-            self._tally_line(tally, unit, line_words, False, subset)
+            self._tally_line(unit, line_words, True)
+            self._tally_line(unit, line_words, False, subset)
             worst = max(worst, (start - now) + l2_latency + cfg.lat_l1_hit)
         return max(worst, cfg.lat_l1_hit)
 
@@ -342,28 +348,34 @@ class GPUReplay:
         # Keep the replay image coherent for subsequent line reads.
         mem.write_u32(acc.addrs, acc.data, mask=acc.active)
         line_bytes = cfg.l1_line_bytes
-        lines = np.unique(addrs - (addrs % line_bytes))
-        for line_addr in lines:
-            line_addr = int(line_addr)
+        # Group store lanes by line in one pass (lane order preserved,
+        # duplicates included — the NoC payload carries every lane).
+        by_line: Dict[int, list] = {}
+        for i, line_of in enumerate((addrs - (addrs % line_bytes)).tolist()):
+            by_line.setdefault(line_of, []).append(i)
+        for line_addr in sorted(by_line):
             sm.l1d.invalidate(line_addr)
             timing.l1d_accesses += 1
-            in_line = (addrs >= line_addr) & (addrs < line_addr + line_bytes)
-            subset = np.unique((addrs[in_line] - line_addr) >> 2)
+            lanes = np.asarray(by_line[line_addr], dtype=np.int64)
+            subset = np.fromiter(
+                sorted({int(off) for off in (addrs[lanes] - line_addr) >> 2}),
+                dtype=np.int64)
             line_words = self._line_words(mem, line_addr)
             bank = noc.bank_of(line_addr, cfg.l2_line_bytes)
-            payload = np.ascontiguousarray(data[in_line]).view(np.uint8)
-            variants = self.encoders.data_variants(Unit.NOC, data[in_line],
+            variants = self.encoders.data_variants(Unit.NOC, data[lanes],
                                                    "line")
             noc.send_write(sm.index, bank, line_addr, {
                 v: np.ascontiguousarray(w).view(np.uint8)
                 for v, w in variants.items()
             })
             self._l2_access(state, sm, line_addr, is_store=True,
-                            is_inst=False, now=now)
+                            is_inst=False, now=now,
+                            line_words=None if self.fault_model is not None
+                            else line_words)
             # L2 books the written words; covered inside _l2_access via
             # the full-line write tally. Also tally the store's words at
             # the L1 interface where the invalidation check happened.
-            self._tally_line(tally, Unit.L1D, line_words, True, subset)
+            self._tally_line(Unit.L1D, line_words, True, subset)
         return cfg.lat_alu + 4
 
     # ------------------------------------------------------------------
@@ -388,6 +400,7 @@ class GPUReplay:
         mem.restore(app.initial_image)
         mem.fault_model = self.fault_model
         tally = Tally()
+        self._batch = TallyBatch(self.encoders, tally)
         noc = Crossbar(cfg.n_sms, cfg.l2_banks, cfg.noc_flit_bytes,
                        fault_model=self.fault_model)
         on_fill = (self.fault_model.note_fill
@@ -458,6 +471,7 @@ class GPUReplay:
 
         for bank in l2_banks:
             cache_totals["l2"] = cache_totals["l2"].merged(bank.stats)
+        self._batch.flush()
         noc.stats.flush()
         timing.cycles = total_cycles
         timing.used_sms = max(1, len(used_sms))

@@ -85,9 +85,7 @@ class GlobalMemory:
     def read_u32(self, addresses) -> np.ndarray:
         addrs = np.asarray(addresses, dtype=np.int64)
         self._check(addrs, 4)
-        gathered = np.empty(addrs.shape + (4,), dtype=np.uint8)
-        for byte in range(4):
-            gathered[..., byte] = self.image[addrs + byte]
+        gathered = self.image[addrs[..., None] + np.arange(4, dtype=np.int64)]
         return np.ascontiguousarray(gathered).view(np.uint32).reshape(addrs.shape)
 
     def write_u32(self, addresses, values, mask=None) -> None:
@@ -101,8 +99,9 @@ class GlobalMemory:
             return
         self._check(addrs, 4)
         as_bytes = np.ascontiguousarray(vals).view(np.uint8).reshape(-1, 4)
-        for byte in range(4):
-            self.image[addrs + byte] = as_bytes[:, byte]
+        # Fancy-index scatter: rows assign in order, so duplicate
+        # addresses keep the loop's last-write-wins semantics.
+        self.image[addrs.reshape(-1, 1) + np.arange(4, dtype=np.int64)] = as_bytes
 
     def read_u64(self, address: int) -> int:
         self._check(np.asarray([address]), 8)
@@ -135,6 +134,21 @@ class GlobalMemory:
             if fm.persistent:
                 self.image[line_address:line_address + line_bytes] = line
         return line
+
+    def read_lines(self, line_addrs: np.ndarray,
+                   line_bytes: int = LINE_BYTES) -> np.ndarray:
+        """Batched fault-free line gather: ``(n_lines, line_bytes)``.
+
+        Bypasses the fault model by design — callers that may carry an
+        attached model must stay on :meth:`read_line`, whose per-read
+        corruption sequence is part of the simulated semantics.
+        """
+        addrs = np.asarray(line_addrs, dtype=np.int64)
+        if (addrs % line_bytes).any():
+            raise ValueError("line address must be line-aligned")
+        self._check(addrs, line_bytes)
+        return self.image[addrs[:, None]
+                          + np.arange(line_bytes, dtype=np.int64)]
 
     def snapshot(self) -> np.ndarray:
         """Copy of the image, used to reset state for the replay phase."""

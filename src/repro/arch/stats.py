@@ -19,12 +19,13 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.bitutils import INST_BITS, hamming_weight, toggles_between
+from ..core.bitutils import (INST_BITS, WORD_BITS, hamming_weight,
+                             popcount32, popcount64, sequence_toggles)
 from ..core.coders import ISACoder, NVCoder, VSCoder
 from ..core.spaces import CODER_SPACES, Unit
 
-__all__ = ["VARIANTS", "AccessCounts", "Tally", "Encoders", "NoCStats",
-           "TimingStats"]
+__all__ = ["VARIANTS", "AccessCounts", "Tally", "TallyBatch", "Encoders",
+           "NoCStats", "TimingStats"]
 
 VARIANTS = ("base", "NV", "VS", "ISA", "ALL")
 
@@ -174,6 +175,36 @@ class Encoders:
                 ones = hamming_weight(encoded)
             tally.add(unit, variant, is_store, total - ones, ones)
 
+    def data_variant_blocks(self, unit: Unit, blocks: np.ndarray,
+                            blocked: str = "line",
+                            active: Optional[np.ndarray] = None
+                            ) -> Dict[str, np.ndarray]:
+        """Vectorised :meth:`data_variants` over a stack of blocks.
+
+        ``blocks`` is ``(n_blocks, width)`` with axis 1 indexing lanes
+        (warp blocking) or line words (line blocking); ``active`` is an
+        optional same-shape mask honoured by warp-blocked VS coding.
+        Every returned variant matrix is the row-wise equivalent of
+        calling :meth:`data_variants` per block.
+        """
+        w = np.asarray(blocks, dtype=np.uint32)
+        in_nv = unit in CODER_SPACES["NV"].units
+        in_vs = unit in CODER_SPACES["VS"].units
+        nv_words = self.nv.encode_words(w) if in_nv else w
+        if in_vs:
+            vs = self._vs_for(blocked)
+            if blocked == "warp" and active is not None:
+                vs_words = vs.encode_masked_blocks(w, active)
+                all_words = vs.encode_masked_blocks(nv_words, active)
+            else:
+                vs_words = vs.encode_blocks(w)
+                all_words = vs.encode_blocks(nv_words)
+        else:
+            vs_words = w
+            all_words = nv_words
+        return {"base": w, "NV": nv_words, "VS": vs_words,
+                "ISA": w, "ALL": all_words}
+
     # -- instruction stream ----------------------------------------------
 
     def inst_variants(self, words: np.ndarray) -> Dict[str, np.ndarray]:
@@ -192,6 +223,129 @@ class Encoders:
             tally.add(unit, variant, is_store, total - ones, ones)
 
 
+class TallyBatch:
+    """Deferred whole-trace tallying over an :class:`Encoders`/:class:`Tally`.
+
+    The simulator's per-access tally calls — one per register operand,
+    shared-memory access, cache-line touch and instruction word — each
+    cost a dozen NumPy dispatches on a 32-element array, which is where
+    sweep wall time used to go. This accumulator records the raw word
+    blocks instead and flushes them in bulk: a whole trace's blocks are
+    stacked into one ``(n_blocks, width)`` matrix, encoded under every
+    coder variant with the batched coder paths, and popcounted as a
+    single array op.
+
+    Because every tallied quantity is an exact integer sum, flushing in
+    any order produces **bit-identical** counts to the per-call scalar
+    path (the golden fixtures and
+    ``tests/test_vectorized_equivalence.py`` pin this). Entries are
+    created under exactly the same conditions as the scalar path: a
+    block with no counted lanes contributes nothing.
+    """
+
+    def __init__(self, encoders: Encoders, tally: Tally,
+                 flush_every: int = 8192):
+        self.encoders = encoders
+        self.tally = tally
+        self.flush_every = flush_every
+        # (unit, blocked, width) -> [values rows], [mask rows], [is_store]
+        self._data: Dict[tuple, list] = {}
+        # (unit, word, is_store) -> access count, for 64-bit inst words.
+        self._inst: Dict[tuple, int] = {}
+        # word -> (ones_base, ones_isa); persists across flushes because
+        # instruction streams repeat the same words heavily.
+        self._inst_bits: Dict[int, Tuple[int, int]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def add_warp(self, unit: Unit, values: np.ndarray, active: np.ndarray,
+                 is_store: bool) -> None:
+        """Record one warp-blocked register/shared-memory access."""
+        self._add(unit, "warp", values, active, is_store)
+
+    def add_line(self, unit: Unit, line_words: np.ndarray, is_store: bool,
+                 subset: Optional[np.ndarray] = None) -> None:
+        """Record one cache-line access (or a word subset of it)."""
+        if subset is not None and subset.size == 0:
+            return
+        self._add(unit, "line", line_words, subset, is_store)
+
+    def _add(self, unit: Unit, blocked: str, values, mask, is_store) -> None:
+        key = (unit, blocked, int(np.asarray(values).shape[0]))
+        entry = self._data.get(key)
+        if entry is None:
+            entry = self._data[key] = ([], [], [])
+        entry[0].append(values)
+        entry[1].append(mask)
+        entry[2].append(is_store)
+        if len(entry[0]) >= self.flush_every:
+            self._flush_data(key, entry)
+            del self._data[key]
+
+    def add_inst(self, unit: Unit, word: int, is_store: bool,
+                 count: int = 1) -> None:
+        """Record ``count`` accesses of one 64-bit instruction word."""
+        key = (unit, word, is_store)
+        self._inst[key] = self._inst.get(key, 0) + count
+
+    # -- flushing --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Tally everything recorded since the last flush."""
+        for key, entry in self._data.items():
+            self._flush_data(key, entry)
+        self._data.clear()
+        if self._inst:
+            self._flush_inst()
+            self._inst.clear()
+
+    def _flush_data(self, key: tuple, entry: tuple) -> None:
+        unit, blocked, width = key
+        values, masks, stores = entry
+        blocks = np.vstack(values).astype(np.uint32, copy=False)
+        counted = np.zeros((len(values), width), dtype=bool)
+        for row, mask in enumerate(masks):
+            if mask is None:
+                counted[row] = True
+            elif blocked == "warp":
+                counted[row] = mask
+            else:
+                counted[row, mask] = True
+        is_store = np.asarray(stores, dtype=bool)
+        active = counted if blocked == "warp" else None
+        variants = self.encoders.data_variant_blocks(unit, blocks, blocked,
+                                                     active)
+        lanes_per_row = counted.sum(axis=1)
+        contributing = lanes_per_row > 0
+        for variant, encoded in variants.items():
+            ones_per_row = (popcount32(encoded) * counted).sum(axis=1)
+            for flag in (False, True):
+                rows = contributing & (is_store == flag)
+                if not rows.any():
+                    continue
+                ones = int(ones_per_row[rows].sum())
+                total = int(lanes_per_row[rows].sum()) * WORD_BITS
+                self.tally.add(unit, variant, flag, total - ones, ones)
+
+    def _flush_inst(self) -> None:
+        known = self._inst_bits
+        fresh = sorted({word for (__, word, __unused) in self._inst
+                        if word not in known})
+        if fresh:
+            arr = np.asarray(fresh, dtype=np.uint64)
+            ones_base = popcount64(arr)
+            ones_isa = popcount64(self.encoders.isa.encode_words(arr))
+            for word, base, isa in zip(fresh, ones_base, ones_isa):
+                known[word] = (int(base), int(isa))
+        for (unit, word, flag), count in self._inst.items():
+            base, isa = known[word]
+            total = INST_BITS * count
+            for variant, ones in (("base", base), ("NV", base),
+                                  ("VS", base), ("ISA", isa), ("ALL", isa)):
+                self.tally.add(unit, variant, flag,
+                               total - ones * count, ones * count)
+
+
 class NoCStats:
     """Per-channel consecutive-flit toggle counting, per variant.
 
@@ -205,13 +359,22 @@ class NoCStats:
     drain half-full channels.
     """
 
-    def __init__(self, flit_bytes: int, virtual_channels: int = 2):
+    def __init__(self, flit_bytes: int, virtual_channels: int = 2,
+                 drain_every: int = 4096):
         self.flit_bytes = flit_bytes
         self.virtual_channels = virtual_channels
         self.toggles: Dict[str, int] = {v: 0 for v in VARIANTS}
         self.flits: int = 0
         self._last: Dict[Tuple[str, int], Dict[str, np.ndarray]] = {}
         self._pending: Dict[Tuple[str, int], Dict[str, list]] = {}
+        #: Per-channel chunk backlog awaiting toggle counting. Chunks
+        #: accumulate in wire order and are counted in one
+        #: whole-sequence pass per channel at :meth:`flush` (or every
+        #: ``drain_every`` flits, bounding memory). Toggle sums are
+        #: order-exact, so deferral cannot change a single count.
+        self._accum: Dict[Tuple[str, int], Dict[str, list]] = {}
+        self._accum_flits: Dict[Tuple[str, int], int] = {}
+        self._drain_every = drain_every
 
     def _chunks(self, payload: np.ndarray) -> list:
         n_bytes = payload.size
@@ -221,27 +384,60 @@ class NoCStats:
 
     def _transmit(self, channel: Tuple[str, int],
                   chunk_lists: Dict[str, list]) -> None:
-        """Stream chunk sequences onto the wire and count toggles.
+        """Append a packet's chunk sequences to the channel backlog.
 
-        A partial flit leaves its unused wires holding their previous
-        values (idle bus lines do not switch), so toggles are only
-        counted on bytes actually driven.
+        Toggle counting is deferred: chunks pile up in wire order and
+        one whole-sequence pass per channel counts them at
+        :meth:`flush` (or every ``drain_every`` flits). A partial flit
+        leaves its unused wires holding their previous values (idle
+        bus lines do not switch), so toggles are only counted on bytes
+        actually driven — :meth:`_drain` reconstructs that inheritance.
         """
         n_flits = len(next(iter(chunk_lists.values())))
         self.flits += n_flits
+        acc = self._accum.get(channel)
+        if acc is None:
+            acc = self._accum[channel] = {v: [] for v in VARIANTS}
+            self._accum_flits[channel] = 0
+        for variant in VARIANTS:
+            acc[variant].extend(chunk_lists[variant])
+        self._accum_flits[channel] += n_flits
+        if self._accum_flits[channel] >= self._drain_every:
+            self._drain(channel)
+
+    def _drain(self, channel: Tuple[str, int]) -> None:
+        """Count the channel's backlog in one whole-sequence pass."""
+        acc = self._accum.pop(channel, None)
+        if not acc:
+            return
+        self._accum_flits.pop(channel, None)
         last = self._last.get(channel)
         if last is None:
             last = self._last[channel] = {
                 v: np.zeros(self.flit_bytes, dtype=np.uint8) for v in VARIANTS
             }
         for variant in VARIANTS:
-            prev = last[variant]
-            for chunk in chunk_lists[variant]:
-                flit = prev.copy()
-                flit[:chunk.size] = chunk
-                self.toggles[variant] += toggles_between(prev, flit)
-                prev = flit
-            last[variant] = prev
+            chunks = acc[variant]
+            states = np.empty((len(chunks) + 1, self.flit_bytes),
+                              dtype=np.uint8)
+            states[0] = last[variant]
+            sizes = np.fromiter((c.size for c in chunks), dtype=np.int64,
+                                count=len(chunks))
+            full = sizes == self.flit_bytes
+            if full.all():
+                states[1:] = chunks
+            else:
+                idx = np.nonzero(full)[0]
+                if idx.size:
+                    states[idx + 1] = [chunks[i] for i in idx]
+                # Partial flits inherit the undriven wires' held
+                # values. Ascending order keeps the inheritance chain
+                # intact: row i is final before row i+1 copies it.
+                for i in np.nonzero(~full)[0]:
+                    states[i + 1] = states[i]
+                    states[i + 1, :sizes[i]] = chunks[i]
+            self.toggles[variant] += int(sequence_toggles(states).sum())
+            last[variant] = states[-1].copy()
 
     @staticmethod
     def _interleave(a: list, b: list) -> list:
@@ -273,10 +469,13 @@ class NoCStats:
         self._transmit(channel, merged)
 
     def flush(self) -> None:
-        """Drain packets still waiting for a VC partner."""
+        """Drain packets still waiting for a VC partner, then count
+        every channel's deferred backlog."""
         for channel, chunk_lists in sorted(self._pending.items()):
             self._transmit(channel, chunk_lists)
         self._pending.clear()
+        for channel in sorted(self._accum):
+            self._drain(channel)
 
     @property
     def bit_slots(self) -> int:

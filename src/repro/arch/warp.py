@@ -68,11 +68,14 @@ class WarpCtx:
                  tally: Tally, encoders: Encoders, static_map: dict,
                  static_words: list, block_idx: int, warp_in_block: int,
                  warps_per_block: int, n_blocks: int,
-                 params: dict, profiler=None):
+                 params: dict, profiler=None, batch=None):
         self.mem = mem
         self.shared = shared
         self.tally = tally
         self.encoders = encoders
+        #: optional :class:`~repro.arch.stats.TallyBatch` for deferred
+        #: whole-trace tallying; falls back to immediate tally_data.
+        self.batch = batch
         self.static_map = static_map        # shared per launch
         self.static_words = static_words    # shared per launch
         self.block_idx = block_idx
@@ -139,17 +142,22 @@ class WarpCtx:
     # Emission core
     # ------------------------------------------------------------------
 
+    def _tally_warp(self, unit: Unit, values: np.ndarray,
+                    is_store: bool) -> None:
+        if self.batch is not None:
+            self.batch.add_warp(unit, values, self.active, is_store)
+        else:
+            self.encoders.tally_data(self.tally, unit, values,
+                                     is_store=is_store, blocked="warp",
+                                     active=self.active)
+
     def _reg_read(self, reg: Reg) -> None:
         if reg.is_sreg:
             return
-        self.encoders.tally_data(self.tally, Unit.REG, reg.values,
-                                 is_store=False, blocked="warp",
-                                 active=self.active)
+        self._tally_warp(Unit.REG, reg.values, is_store=False)
 
     def _reg_write(self, values: np.ndarray, regno: int) -> Reg:
-        self.encoders.tally_data(self.tally, Unit.REG, values,
-                                 is_store=True, blocked="warp",
-                                 active=self.active)
+        self._tally_warp(Unit.REG, values, is_store=True)
         if self.profiler is not None:
             self.profiler.on_reg_block(values, self.active)
         return Reg(values, regno)
@@ -432,9 +440,7 @@ class WarpCtx:
                            self.active.copy())
         srcs = (offset,) if isinstance(offset, Reg) else ()
         out = self._emit(Opcode.LDS, srcs, values, mem=access)
-        self.encoders.tally_data(self.tally, Unit.SME, values,
-                                 is_store=False, blocked="warp",
-                                 active=self.active)
+        self._tally_warp(Unit.SME, values, is_store=False)
         return out
 
     def st_shared(self, offset, value) -> None:
@@ -447,9 +453,7 @@ class WarpCtx:
                            self.active.copy(), data=vals.copy())
         srcs = tuple(x for x in (offset, value) if isinstance(x, Reg))
         self._emit(Opcode.STS, srcs, None, mem=access)
-        self.encoders.tally_data(self.tally, Unit.SME, vals,
-                                 is_store=True, blocked="warp",
-                                 active=self.active)
+        self._tally_warp(Unit.SME, vals, is_store=True)
 
     # ------------------------------------------------------------------
     # Synchronisation

@@ -115,16 +115,17 @@ def _micro_popcount() -> None:
 
 def _micro_toggles() -> None:
     import numpy as np
-    from ..core.bitutils import pack_flits, toggles_between
+    from ..core.bitutils import pack_flits, sequence_toggles
+    # Payload count keeps the vectorized path above the compare gate's
+    # min_seconds floor, so injected slowdowns stay gateable.
     with trace_span("setup"):
         rng = np.random.default_rng(2017)
         payloads = [rng.integers(0, 256, 4096, dtype=np.uint8)
-                    for __ in range(16)]
+                    for __ in range(128)]
     with trace_span("pack_and_toggle"):
         for payload in payloads:
             flits = pack_flits(payload, 32)
-            for i in range(1, len(flits)):
-                toggles_between(flits[i - 1], flits[i])
+            sequence_toggles(flits)
 
 
 def _micro_bitplanes() -> None:
@@ -167,7 +168,7 @@ SCENARIOS: Dict[str, Scenario] = {
                  "bitutils popcount32/64 over pinned word arrays",
                  _micro_popcount),
         Scenario("micro-toggles",
-                 "bitutils pack_flits + consecutive-flit toggle counting",
+                 "bitutils pack_flits + whole-sequence flit toggle counting",
                  _micro_toggles),
         Scenario("micro-bitplanes",
                  "bitutils bit-plane histograms + hamming distances",
@@ -177,7 +178,7 @@ SCENARIOS: Dict[str, Scenario] = {
 
 #: Suite -> ordered scenario names. ``smoke`` is the CI/gate suite.
 SUITES: Dict[str, List[str]] = {
-    "smoke": ["sweep-serial", "sweep-jobs2", "replay-ATA",
+    "smoke": ["sweep-serial", "sweep-jobs2", "replay-ATA", "replay-VEC",
               "micro-popcount", "micro-toggles", "micro-bitplanes"],
     "full": list(SCENARIOS),
 }

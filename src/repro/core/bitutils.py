@@ -8,9 +8,18 @@ the rest of the library never touches raw bit twiddling.
 Words are represented as ``np.uint32`` (data path) or ``np.uint64``
 (instruction path) arrays. All functions accept scalars or arrays and
 return NumPy results.
+
+Popcounts use the hardware ``np.bitwise_count`` ufunc when the
+installed NumPy provides it (>= 2.0), falling back to a 16-bit lookup
+table otherwise; both paths produce identical integers. Bit-plane
+histograms reduce each word's bytes through per-byte ``bincount``
+histograms folded against a (256, 8) bit-membership matrix, so a whole
+trace's planes are counted without a per-position Python loop.
 """
 
 from __future__ import annotations
+
+import sys
 
 import numpy as np
 
@@ -29,6 +38,7 @@ __all__ = [
     "bytes_to_words",
     "pack_flits",
     "toggles_between",
+    "sequence_toggles",
     "float_to_bits",
     "bits_to_float",
 ]
@@ -36,27 +46,50 @@ __all__ = [
 WORD_BITS = 32
 INST_BITS = 64
 
-# 16-bit popcount lookup table; uint32/uint64 popcounts are composed from it.
+#: NumPy >= 2.0 exposes the hardware popcount instruction as a ufunc.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+# 16-bit popcount lookup table for the pre-2.0 fallback path.
 _POP16 = np.array(
     [bin(i).count("1") for i in range(1 << 16)], dtype=np.uint8
 )
 
+#: Bit-membership matrix: ``_BYTE_PLANES[v, p]`` is bit ``p`` of byte
+#: value ``v``, MSB first — the fold matrix for plane histograms.
+_BYTE_PLANES = (
+    (np.arange(256, dtype=np.int64)[:, None]
+     >> np.arange(7, -1, -1, dtype=np.int64)) & 1
+)
+
 
 def popcount32(words) -> np.ndarray:
-    """Per-element number of set bits in an array of uint32 words."""
+    """Per-element number of set bits in an array of uint32 words.
+
+    Counts come back as uint8 (a count is at most 32); NumPy's sum
+    reductions upcast small integers to 64 bits, so totals never wrap.
+    """
     w = np.asarray(words, dtype=np.uint32)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(w)
     lo = w & np.uint32(0xFFFF)
     hi = w >> np.uint32(16)
-    return _POP16[lo].astype(np.int64) + _POP16[hi].astype(np.int64)
+    return _POP16[lo] + _POP16[hi]
 
 
 def popcount64(words) -> np.ndarray:
-    """Per-element number of set bits in an array of uint64 words."""
+    """Per-element number of set bits in an array of uint64 words.
+
+    Counts come back as uint8 (a count is at most 64); NumPy's sum
+    reductions upcast small integers to 64 bits, so totals never wrap.
+    """
     w = np.asarray(words, dtype=np.uint64)
-    counts = np.zeros(w.shape, dtype=np.int64)
-    for shift in (0, 16, 32, 48):
-        counts += _POP16[(w >> np.uint64(shift)) & np.uint64(0xFFFF)]
-    return counts
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(w)
+    flat = np.ascontiguousarray(w).reshape(-1)
+    if flat.size == 0:
+        return np.zeros(w.shape, dtype=np.uint8)
+    halves = _POP16[flat.view(np.uint16)].reshape(-1, 4)
+    return halves.sum(axis=1, dtype=np.uint8).reshape(w.shape)
 
 
 def hamming_weight(words, bits: int = WORD_BITS) -> int:
@@ -118,6 +151,10 @@ def bit_plane_counts(words, bits: int = WORD_BITS) -> np.ndarray:
 
     Position 0 is the most-significant bit, matching the paper's
     Figure-14 x-axis convention for instruction words.
+
+    Computed as whole-array byte histograms: each of the word's byte
+    columns is ``bincount``-ed once and the 256-bin histogram is folded
+    through the per-byte bit-membership matrix — no per-position loop.
     """
     if bits == WORD_BITS:
         w = np.asarray(words, dtype=np.uint32).ravel()
@@ -125,11 +162,15 @@ def bit_plane_counts(words, bits: int = WORD_BITS) -> np.ndarray:
         w = np.asarray(words, dtype=np.uint64).ravel()
     else:
         raise ValueError(f"unsupported word width: {bits}")
+    n_bytes = bits // 8
+    cols = np.ascontiguousarray(w).view(np.uint8).reshape(-1, n_bytes)
+    if sys.byteorder == "little":
+        # Byte 0 holds the least-significant bits; plane 0 is the MSB.
+        cols = cols[:, ::-1]
     counts = np.empty(bits, dtype=np.int64)
-    one = w.dtype.type(1)
-    for pos in range(bits):
-        shift = w.dtype.type(bits - 1 - pos)
-        counts[pos] = int(((w >> shift) & one).sum())
+    for byte in range(n_bytes):
+        histogram = np.bincount(cols[:, byte], minlength=256)
+        counts[byte * 8:(byte + 1) * 8] = histogram @ _BYTE_PLANES
     return counts
 
 
@@ -163,8 +204,30 @@ def toggles_between(prev_flit, next_flit) -> int:
     """Bit toggles between two consecutive flits on the same channel."""
     a = np.asarray(prev_flit, dtype=np.uint8)
     b = np.asarray(next_flit, dtype=np.uint8)
-    x = (a ^ b).astype(np.uint32)
-    return int(popcount32(x).sum())
+    x = a ^ b
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(x).sum(dtype=np.int64))
+    return int(_POP16[x].sum(dtype=np.int64))
+
+
+def sequence_toggles(flits) -> np.ndarray:
+    """Per-transition toggle counts across a whole flit sequence.
+
+    ``flits`` is a 2-D ``(n_states, width)`` uint8 array of consecutive
+    wire states on one channel; element ``i`` of the result counts the
+    bit flips between rows ``i`` and ``i + 1`` — the vectorised
+    equivalent of calling :func:`toggles_between` on every consecutive
+    pair.
+    """
+    f = np.asarray(flits, dtype=np.uint8)
+    if f.ndim != 2:
+        raise ValueError("sequence_toggles expects a (n_states, width) array")
+    if f.shape[0] < 2:
+        return np.zeros(0, dtype=np.int64)
+    x = f[1:] ^ f[:-1]
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(x).sum(axis=1, dtype=np.int64)
+    return _POP16[x].sum(axis=1, dtype=np.int64)
 
 
 def float_to_bits(values) -> np.ndarray:

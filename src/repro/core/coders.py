@@ -189,6 +189,64 @@ class VSCoder(Coder):
         """Inverse of :meth:`encode_masked` (same operation)."""
         return self.encode_masked(block, active)
 
+    # -- whole-trace batched forms ---------------------------------------
+    #
+    # The replay hot path stacks every tallied block of a trace into one
+    # (n_blocks, lanes) matrix and encodes them all in a handful of
+    # array ops. These are bit-exact batched equivalents of
+    # encode_words/encode_masked with axis 1 (not axis 0) indexing
+    # lanes; tests/test_vectorized_equivalence.py pins them against the
+    # scalar forms.
+
+    def encode_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode_words` over a stack of blocks.
+
+        ``blocks`` is ``(n_blocks, lanes)``; every row is encoded
+        independently against its own pivot lane.
+        """
+        b = np.asarray(blocks, dtype=np.uint32)
+        if b.ndim != 2:
+            raise ValueError("encode_blocks expects a (n_blocks, lanes) array")
+        if b.shape[0] == 0 or b.shape[1] == 0:
+            return b.copy()
+        pivot = min(self.pivot_index, b.shape[1] - 1)
+        out = xnor(b, b[:, pivot:pivot + 1])
+        out[:, pivot] = b[:, pivot]
+        return out
+
+    def encode_masked_blocks(self, blocks: np.ndarray,
+                             active: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode_masked` over a stack of blocks.
+
+        ``blocks`` and ``active`` are both ``(n_blocks, lanes)``; each
+        row applies the scalar form's exact pivot rules — inactive
+        lanes pass through, an inactive pivot re-pivots to the row's
+        first active lane, and all-inactive rows copy through.
+        """
+        b = np.asarray(blocks, dtype=np.uint32)
+        act = np.asarray(active, dtype=bool)
+        if b.ndim != 2 or b.shape != act.shape:
+            raise ValueError("active mask must match the blocks' shape")
+        n, lanes = b.shape
+        if n == 0 or lanes == 0:
+            return b.copy()
+        rows = np.arange(n)
+        base_pivot = min(self.pivot_index, lanes - 1)
+        any_active = act.any(axis=1)
+        first_active = np.argmax(act, axis=1)
+        pivot = np.where(act[:, base_pivot] | ~any_active,
+                         base_pivot, first_active)
+        pivot_vals = b[rows, pivot]
+        encoded = xnor(b, pivot_vals[:, None])
+        out = np.where(act, encoded, b)
+        out[rows, pivot] = pivot_vals
+        return out
+
+    def decode_masked_blocks(self, blocks: np.ndarray,
+                             active: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`encode_masked_blocks` (same operation)."""
+        return self.encode_masked_blocks(blocks, active)
+
 
 class ISACoder(Coder):
     """ISA Preference coder (Section 4.3).

@@ -27,6 +27,7 @@ from repro.runner import Checkpoint, SweepRunner, unit_key
 GOLDEN_DIR = Path(__file__).parent / "golden"
 SMOKE_FIXTURE = GOLDEN_DIR / "smoke_sweep.json"
 METRICS_FIXTURE = GOLDEN_DIR / "smoke_metrics.json"
+FAULT_FIXTURE = GOLDEN_DIR / "fault_replay.json"
 
 #: A representative but cheap sweep: two per-app experiments (one
 #: replay-heavy, one mask-profiling) and one whole-experiment driver.
@@ -147,6 +148,58 @@ class TestGoldenSmokeMetrics:
             pytest.skip("fixture regeneration runs serially")
         assert _smoke_sweep(jobs=jobs)[1] == \
             METRICS_FIXTURE.read_text(encoding="utf-8")
+
+
+def _faulted_replay_json() -> str:
+    """Canonical JSON of a VEC replay under a seeded fault model."""
+    from repro.faults import FaultModel
+    from repro.kernels import get_app
+    from repro.sim import clear_caches, simulate_app
+
+    clear_caches()
+    fault_model = FaultModel(mode="read-disturb", p_flip=1e-4, seed=2017)
+    stats = simulate_app(get_app("VEC"), fault_model=fault_model)
+    clear_caches()
+    payload = {
+        "app": stats.app_name,
+        "counts": {
+            f"{unit.name}/{variant}": counts.as_dict()
+            for (unit, variant), counts in sorted(
+                stats.counts.items(), key=lambda kv: (kv[0][0].name,
+                                                      kv[0][1]))
+        },
+        "noc_toggles": {v: stats.noc_toggles[v]
+                        for v in sorted(stats.noc_toggles)},
+        "noc_bit_slots": stats.noc_bit_slots,
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "array_flips": fault_model.array_flips,
+        "noc_flips": fault_model.noc_flips,
+    }
+    return canonical_json(payload)
+
+
+class TestGoldenFaultedReplay:
+    """A replay with an active fault model, pinned byte-for-byte.
+
+    Faulted runs bypass every memoisation layer, so this fixture pins
+    the whole fault path: the injector's RNG stream, read-disturb
+    persistence write-backs, the damaged tallies and the flip counters.
+    """
+
+    def test_faulted_replay_matches_fixture(self, update_golden):
+        text = _faulted_replay_json()
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            FAULT_FIXTURE.write_text(text, encoding="utf-8")
+            pytest.skip("fault fixture regenerated; commit the diff")
+        assert FAULT_FIXTURE.exists(), (
+            "missing fault fixture — generate it with "
+            "`python -m pytest tests/test_golden.py --update-golden`")
+        assert text == FAULT_FIXTURE.read_text(encoding="utf-8")
+
+    def test_faulted_replay_is_rerun_deterministic(self):
+        assert _faulted_replay_json() == _faulted_replay_json()
 
 
 class TestHotspotReconciliation:

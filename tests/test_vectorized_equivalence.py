@@ -1,0 +1,678 @@
+"""Differential harness: vectorized hot paths vs pinned scalar oracles.
+
+The replay/simulate pipeline was rewritten as whole-trace NumPy
+bitplane operations (batched popcounts, bincount bit-plane histograms,
+XNOR block coding, wire-state toggle matrices, deferred tallying).
+Every fast path here is driven against a slow reference that is either
+pure-Python bit arithmetic or a verbatim copy of the pre-vectorization
+scalar implementation, over random, adversarial and empty inputs.
+
+These oracles are pinned on purpose: do not "simplify" them to call
+the code under test.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.gpu import GPUReplay
+from repro.arch.memory import GlobalMemory
+from repro.arch.stats import Encoders, NoCStats, Tally, TallyBatch, VARIANTS
+from repro.core import bitutils as bu
+from repro.core.coders import VSCoder, xnor
+from repro.core.spaces import Unit
+
+LANES = 32
+
+u32s = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u64s = st.integers(min_value=0, max_value=0xFFFFFFFFFFFFFFFF)
+u8s = st.integers(min_value=0, max_value=0xFF)
+
+#: Adversarial uint32 word patterns: all-zeros, all-ones, alternating
+#: bits and bytes, sign-boundary values.
+ADVERSARIAL_U32 = [0, 0xFFFFFFFF, 0xAAAAAAAA, 0x55555555,
+                   0x00FF00FF, 0xFF00FF00, 0x80000000, 0x7FFFFFFF, 1]
+ADVERSARIAL_U64 = [0, 0xFFFFFFFFFFFFFFFF, 0xAAAAAAAAAAAAAAAA,
+                   0x5555555555555555, 0x8000000000000000, 1,
+                   0x00FF00FF00FF00FF]
+
+
+# ---------------------------------------------------------------------------
+# Pinned scalar oracles (pre-vectorization implementations / pure Python)
+# ---------------------------------------------------------------------------
+
+def oracle_popcount(value: int) -> int:
+    return bin(int(value)).count("1")
+
+
+def oracle_leading_zeros32(value: int) -> int:
+    return 32 - int(value).bit_length()
+
+
+def oracle_bit_plane_counts(words, bits: int) -> np.ndarray:
+    """Verbatim copy of the pre-vectorization per-position shift loop."""
+    if bits == 32:
+        w = np.asarray(words, dtype=np.uint32).ravel()
+    else:
+        w = np.asarray(words, dtype=np.uint64).ravel()
+    counts = np.empty(bits, dtype=np.int64)
+    one = w.dtype.type(1)
+    for pos in range(bits):
+        shift = w.dtype.type(bits - 1 - pos)
+        counts[pos] = int(((w >> shift) & one).sum())
+    return counts
+
+
+def oracle_toggles_between(prev_flit, next_flit) -> int:
+    a = np.asarray(prev_flit, dtype=np.uint8)
+    b = np.asarray(next_flit, dtype=np.uint8)
+    return sum(oracle_popcount(int(x)) for x in (a ^ b))
+
+
+def oracle_encode_masked(pivot_index: int, block, active) -> np.ndarray:
+    """Verbatim copy of the scalar VSCoder.encode_masked semantics."""
+    block = np.asarray(block, dtype=np.uint32)
+    active = np.asarray(active, dtype=bool)
+    if not active.any():
+        return block.copy()
+    pivot = min(pivot_index, block.shape[0] - 1)
+    if not active[pivot]:
+        pivot = int(np.flatnonzero(active)[0])
+    out = block.copy()
+    out[active] = xnor(block[active], block[pivot])
+    out[pivot] = block[pivot]
+    return out
+
+
+def oracle_tally_line(encoders: Encoders, tally: Tally, unit: Unit,
+                      line_words: np.ndarray, is_store: bool,
+                      subset=None) -> None:
+    """Verbatim copy of the pre-vectorization GPUReplay._tally_line."""
+    variants = encoders.data_variants(unit, line_words, "line")
+    if subset is None:
+        total = line_words.size * 32
+        for variant, encoded in variants.items():
+            ones = bu.hamming_weight(encoded)
+            tally.add(unit, variant, is_store, total - ones, ones)
+    else:
+        if subset.size == 0:
+            return
+        total = subset.size * 32
+        for variant, encoded in variants.items():
+            ones = int(bu.popcount32(encoded[subset]).sum())
+            tally.add(unit, variant, is_store, total - ones, ones)
+
+
+def oracle_tally_inst_word(encoders: Encoders, tally: Tally, unit: Unit,
+                           word: int, is_store: bool, count: int = 1) -> None:
+    """Verbatim copy of the pre-vectorization GPUReplay._tally_inst_word."""
+    arr = np.asarray([word], dtype=np.uint64)
+    ones_base = int(bu.popcount64(arr)[0])
+    ones_isa = int(bu.popcount64(encoders.isa.encode_words(arr))[0])
+    total = 64 * count
+    for variant, ones in (("base", ones_base), ("NV", ones_base),
+                          ("VS", ones_base), ("ISA", ones_isa),
+                          ("ALL", ones_isa)):
+        tally.add(unit, variant, is_store, total - ones * count,
+                  ones * count)
+
+
+class OracleNoC(NoCStats):
+    """NoCStats with the pre-vectorization per-flit _transmit loop."""
+
+    def _transmit(self, channel, chunk_lists):
+        n_flits = len(next(iter(chunk_lists.values())))
+        self.flits += n_flits
+        last = self._last.get(channel)
+        if last is None:
+            last = self._last[channel] = {
+                v: np.zeros(self.flit_bytes, dtype=np.uint8)
+                for v in VARIANTS
+            }
+        for variant in VARIANTS:
+            prev = last[variant]
+            for chunk in chunk_lists[variant]:
+                flit = prev.copy()
+                flit[:chunk.size] = chunk
+                self.toggles[variant] += oracle_toggles_between(prev, flit)
+                prev = flit
+            last[variant] = prev
+
+
+# ---------------------------------------------------------------------------
+# Bit primitives
+# ---------------------------------------------------------------------------
+
+class TestPopcounts:
+    @given(st.lists(u32s, max_size=64))
+    def test_popcount32_matches_python(self, values):
+        arr = np.asarray(values, dtype=np.uint32)
+        expected = [oracle_popcount(v) for v in values]
+        assert bu.popcount32(arr).tolist() == expected
+
+    @given(st.lists(u64s, max_size=64))
+    def test_popcount64_matches_python(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        expected = [oracle_popcount(v) for v in values]
+        assert bu.popcount64(arr).tolist() == expected
+
+    def test_adversarial_words(self):
+        a32 = np.asarray(ADVERSARIAL_U32, dtype=np.uint32)
+        a64 = np.asarray(ADVERSARIAL_U64, dtype=np.uint64)
+        assert bu.popcount32(a32).tolist() == [oracle_popcount(v)
+                                               for v in ADVERSARIAL_U32]
+        assert bu.popcount64(a64).tolist() == [oracle_popcount(v)
+                                               for v in ADVERSARIAL_U64]
+
+    def test_empty_inputs(self):
+        assert bu.popcount32(np.empty(0, dtype=np.uint32)).size == 0
+        assert bu.popcount64(np.empty(0, dtype=np.uint64)).size == 0
+        assert bu.popcount64(np.empty((0, 4), dtype=np.uint64)).shape == (0, 4)
+
+    def test_2d_shapes_preserved(self):
+        arr = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        out = bu.popcount64(arr)
+        assert out.shape == (3, 4)
+        assert out.ravel().tolist() == [oracle_popcount(v)
+                                        for v in arr.ravel()]
+
+    @given(st.lists(u32s, min_size=1, max_size=32),
+           st.lists(u64s, min_size=1, max_size=32))
+    def test_table_fallback_matches_ufunc_path(self, v32, v64):
+        """The pre-NumPy-2.0 lookup-table path must agree bit for bit."""
+        a32 = np.asarray(v32, dtype=np.uint32)
+        a64 = np.asarray(v64, dtype=np.uint64)
+        fast32, fast64 = bu.popcount32(a32), bu.popcount64(a64)
+        original = bu._HAS_BITWISE_COUNT
+        bu._HAS_BITWISE_COUNT = False
+        try:
+            assert np.array_equal(bu.popcount32(a32), fast32)
+            assert np.array_equal(bu.popcount64(a64), fast64)
+        finally:
+            bu._HAS_BITWISE_COUNT = original
+
+
+class TestLeadingZeros:
+    @given(st.lists(u32s, max_size=64))
+    def test_matches_bit_length(self, values):
+        arr = np.asarray(values, dtype=np.uint32)
+        expected = [oracle_leading_zeros32(v) for v in values]
+        assert bu.leading_zeros32(arr).tolist() == expected
+
+    def test_adversarial(self):
+        arr = np.asarray(ADVERSARIAL_U32, dtype=np.uint32)
+        assert bu.leading_zeros32(arr).tolist() == [
+            oracle_leading_zeros32(v) for v in ADVERSARIAL_U32]
+
+
+class TestBitPlaneCounts:
+    @given(st.lists(u32s, max_size=64))
+    def test_u32_matches_shift_loop(self, values):
+        arr = np.asarray(values, dtype=np.uint32)
+        assert np.array_equal(bu.bit_plane_counts(arr, 32),
+                              oracle_bit_plane_counts(arr, 32))
+
+    @given(st.lists(u64s, max_size=64))
+    def test_u64_matches_shift_loop(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        assert np.array_equal(bu.bit_plane_counts(arr, 64),
+                              oracle_bit_plane_counts(arr, 64))
+
+    def test_adversarial_and_empty(self):
+        for bits, adv, dtype in ((32, ADVERSARIAL_U32, np.uint32),
+                                 (64, ADVERSARIAL_U64, np.uint64)):
+            arr = np.asarray(adv, dtype=dtype)
+            assert np.array_equal(bu.bit_plane_counts(arr, bits),
+                                  oracle_bit_plane_counts(arr, bits))
+            empty = np.empty(0, dtype=dtype)
+            assert bu.bit_plane_counts(empty, bits).tolist() == [0] * bits
+
+
+class TestSequenceToggles:
+    @given(st.lists(st.lists(u8s, min_size=8, max_size=8),
+                    min_size=2, max_size=16))
+    def test_matches_pairwise_toggles(self, rows):
+        flits = np.asarray(rows, dtype=np.uint8)
+        expected = [oracle_toggles_between(flits[i - 1], flits[i])
+                    for i in range(1, flits.shape[0])]
+        assert bu.sequence_toggles(flits).tolist() == expected
+
+    def test_agrees_with_toggles_between(self):
+        rng = np.random.default_rng(7)
+        flits = rng.integers(0, 256, (20, 32), dtype=np.uint8)
+        per_pair = [bu.toggles_between(flits[i - 1], flits[i])
+                    for i in range(1, 20)]
+        assert bu.sequence_toggles(flits).tolist() == per_pair
+
+    def test_short_and_invalid_inputs(self):
+        assert bu.sequence_toggles(np.zeros((1, 8), np.uint8)).size == 0
+        assert bu.sequence_toggles(np.zeros((0, 8), np.uint8)).size == 0
+        with pytest.raises(ValueError):
+            bu.sequence_toggles(np.zeros(8, np.uint8))
+
+    def test_adversarial_patterns(self):
+        alt = np.asarray([[0x00] * 4, [0xFF] * 4] * 4, dtype=np.uint8)
+        assert bu.sequence_toggles(alt).tolist() == [32] * 7
+        flat = np.full((5, 4), 0xAA, dtype=np.uint8)
+        assert bu.sequence_toggles(flat).tolist() == [0] * 4
+
+
+# ---------------------------------------------------------------------------
+# Batched VS coding
+# ---------------------------------------------------------------------------
+
+class TestVSCoderBlocks:
+    @given(st.integers(0, 8), st.integers(1, LANES), st.integers(0, 2**32))
+    @settings(max_examples=50)
+    def test_encode_blocks_matches_per_row(self, n_rows, lanes, seed):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 2**32, (n_rows, lanes), dtype=np.uint32)
+        coder = VSCoder(pivot_index=21)
+        batched = coder.encode_blocks(blocks)
+        for row in range(n_rows):
+            assert np.array_equal(batched[row],
+                                  coder.encode_words(blocks[row]))
+
+    @given(st.integers(0, 8), st.integers(1, LANES), st.integers(0, 2**32))
+    @settings(max_examples=50)
+    def test_encode_masked_blocks_matches_per_row(self, n_rows, lanes, seed):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 2**32, (n_rows, lanes), dtype=np.uint32)
+        active = rng.random((n_rows, lanes)) < 0.6
+        coder = VSCoder(pivot_index=21)
+        batched = coder.encode_masked_blocks(blocks, active)
+        for row in range(n_rows):
+            expected = oracle_encode_masked(21, blocks[row], active[row])
+            assert np.array_equal(batched[row], expected)
+            assert np.array_equal(expected,
+                                  coder.encode_masked(blocks[row],
+                                                      active[row]))
+
+    def test_adversarial_masks(self):
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 2**32, (4, LANES), dtype=np.uint32)
+        coder = VSCoder(pivot_index=21)
+        masks = np.ones((4, LANES), dtype=bool)
+        masks[0] = False                       # all-inactive: copy-through
+        masks[1, 21] = False                   # pivot inactive: re-pivot
+        masks[2, :] = False
+        masks[2, 31] = True                    # single active lane
+        batched = coder.encode_masked_blocks(blocks, masks)
+        for row in range(4):
+            assert np.array_equal(
+                batched[row], oracle_encode_masked(21, blocks[row],
+                                                   masks[row]))
+
+    def test_decode_inverts_encode(self):
+        rng = np.random.default_rng(9)
+        blocks = rng.integers(0, 2**32, (6, LANES), dtype=np.uint32)
+        active = rng.random((6, LANES)) < 0.5
+        coder = VSCoder(pivot_index=21)
+        encoded = coder.encode_masked_blocks(blocks, active)
+        assert np.array_equal(coder.decode_masked_blocks(encoded, active),
+                              blocks)
+
+    def test_empty_blocks(self):
+        coder = VSCoder(pivot_index=21)
+        empty = np.empty((0, LANES), dtype=np.uint32)
+        assert coder.encode_blocks(empty).shape == (0, LANES)
+        assert coder.encode_masked_blocks(
+            empty, np.empty((0, LANES), dtype=bool)).shape == (0, LANES)
+
+    def test_shape_validation(self):
+        coder = VSCoder(pivot_index=21)
+        with pytest.raises(ValueError):
+            coder.encode_blocks(np.zeros(LANES, dtype=np.uint32))
+        with pytest.raises(ValueError):
+            coder.encode_masked_blocks(np.zeros((2, 4), dtype=np.uint32),
+                                       np.ones((2, 5), dtype=bool))
+
+
+class TestDataVariantBlocks:
+    @given(st.integers(1, 6), st.integers(0, 2**32),
+           st.sampled_from([Unit.REG, Unit.SME, Unit.L2, Unit.L1D,
+                            Unit.NOC]))
+    @settings(max_examples=40)
+    def test_matches_per_row_data_variants(self, n_rows, seed, unit):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(0, 2**32, (n_rows, LANES), dtype=np.uint32)
+        active = rng.random((n_rows, LANES)) < 0.7
+        encoders = Encoders(isa_mask=0x1234, pivot_lane=21)
+        for blocked, mask in (("line", None), ("warp", active)):
+            batched = encoders.data_variant_blocks(unit, blocks, blocked,
+                                                   mask)
+            for row in range(n_rows):
+                row_active = None if mask is None else mask[row]
+                scalar = encoders.data_variants(unit, blocks[row], blocked,
+                                                row_active)
+                for variant in VARIANTS:
+                    assert np.array_equal(batched[variant][row],
+                                          scalar[variant]), (
+                        f"{unit} {blocked} {variant} row {row}")
+
+
+# ---------------------------------------------------------------------------
+# Deferred tallying
+# ---------------------------------------------------------------------------
+
+class TestTallyBatch:
+    @given(st.integers(0, 2**32), st.integers(1, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_warp_accesses_match_scalar_tally(self, seed, n_accesses):
+        rng = np.random.default_rng(seed)
+        encoders = Encoders(isa_mask=0xBEEF, pivot_lane=21)
+        scalar_tally, batch_tally = Tally(), Tally()
+        batch = TallyBatch(encoders, batch_tally)
+        for __ in range(n_accesses):
+            values = rng.integers(0, 2**32, LANES, dtype=np.uint32)
+            active = rng.random(LANES) < rng.choice([0.0, 0.3, 1.0])
+            unit = [Unit.REG, Unit.SME][int(rng.integers(2))]
+            is_store = bool(rng.integers(2))
+            encoders.tally_data(scalar_tally, unit, values, is_store,
+                                blocked="warp", active=active)
+            batch.add_warp(unit, values, active, is_store)
+        batch.flush()
+        assert batch_tally.counts == scalar_tally.counts
+
+    @given(st.integers(0, 2**32), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_line_accesses_match_scalar_tally(self, seed, n_accesses):
+        rng = np.random.default_rng(seed)
+        encoders = Encoders(isa_mask=0xBEEF, pivot_lane=21)
+        scalar_tally, batch_tally = Tally(), Tally()
+        batch = TallyBatch(encoders, batch_tally)
+        for __ in range(n_accesses):
+            line = rng.integers(0, 2**32, 32, dtype=np.uint32)
+            unit = [Unit.L2, Unit.L1D, Unit.L1C][int(rng.integers(3))]
+            is_store = bool(rng.integers(2))
+            kind = int(rng.integers(3))
+            if kind == 0:
+                subset = None
+            elif kind == 1:
+                subset = np.flatnonzero(rng.random(32) < 0.4)
+            else:
+                subset = np.empty(0, dtype=np.int64)  # non-contributing
+            oracle_tally_line(encoders, scalar_tally, unit, line,
+                              is_store, subset)
+            batch.add_line(unit, line, is_store, subset)
+        batch.flush()
+        assert batch_tally.counts == scalar_tally.counts
+
+    @given(st.lists(st.tuples(u64s, st.booleans(), st.integers(1, 4)),
+                    min_size=1, max_size=24))
+    @settings(max_examples=25, deadline=None)
+    def test_inst_words_match_scalar_tally(self, accesses):
+        encoders = Encoders(isa_mask=0x0F0F0F0F0F0F0F0F, pivot_lane=21)
+        scalar_tally, batch_tally = Tally(), Tally()
+        batch = TallyBatch(encoders, batch_tally)
+        for word, is_store, count in accesses:
+            unit = Unit.IFB if is_store else Unit.L1I
+            oracle_tally_inst_word(encoders, scalar_tally, unit, word,
+                                   is_store, count)
+            batch.add_inst(unit, word, is_store, count)
+        batch.flush()
+        assert batch_tally.counts == scalar_tally.counts
+
+    def test_all_inactive_rows_create_no_entries(self):
+        encoders = Encoders(isa_mask=0, pivot_lane=21)
+        tally = Tally()
+        batch = TallyBatch(encoders, tally)
+        batch.add_warp(Unit.REG, np.ones(LANES, dtype=np.uint32),
+                       np.zeros(LANES, dtype=bool), is_store=False)
+        batch.add_line(Unit.L2, np.ones(32, dtype=np.uint32), False,
+                       subset=np.empty(0, dtype=np.int64))
+        batch.flush()
+        assert tally.counts == {}
+
+    def test_incremental_flush_matches_single_flush(self):
+        rng = np.random.default_rng(5)
+        encoders = Encoders(isa_mask=0xABCD, pivot_lane=21)
+        small_tally, big_tally = Tally(), Tally()
+        small = TallyBatch(encoders, small_tally, flush_every=2)
+        big = TallyBatch(encoders, big_tally)
+        for __ in range(11):
+            values = rng.integers(0, 2**32, LANES, dtype=np.uint32)
+            active = rng.random(LANES) < 0.5
+            small.add_warp(Unit.REG, values, active, False)
+            big.add_warp(Unit.REG, values, active, False)
+        small.flush()
+        big.flush()
+        assert small_tally.counts == big_tally.counts
+
+
+class TestNoCEquivalence:
+    def _run_packets(self, noc: NoCStats, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        for __ in range(40):
+            channel = ("req", int(rng.integers(3)))
+            size = int(rng.integers(1, 70))  # exercises partial flits
+            payload = rng.integers(0, 256, size, dtype=np.uint8)
+            noc.send(channel, {v: payload.copy() for v in VARIANTS})
+        noc.flush()
+
+    @pytest.mark.parametrize("vcs", [1, 2])
+    def test_transmit_matches_scalar_loop(self, vcs):
+        fast = NoCStats(flit_bytes=16, virtual_channels=vcs)
+        slow = OracleNoC(flit_bytes=16, virtual_channels=vcs)
+        self._run_packets(fast, seed=11)
+        self._run_packets(slow, seed=11)
+        assert fast.toggles == slow.toggles
+        assert fast.flits == slow.flits
+
+    def test_distinct_variant_payloads(self):
+        rng = np.random.default_rng(13)
+        fast = NoCStats(flit_bytes=8)
+        slow = OracleNoC(flit_bytes=8)
+        for noc in (fast, slow):
+            payload_rng = np.random.default_rng(99)
+            for __ in range(12):
+                payloads = {v: payload_rng.integers(0, 256, 20,
+                                                    dtype=np.uint8)
+                            for v in VARIANTS}
+                noc.send(("resp", 0), payloads)
+            noc.flush()
+        assert fast.toggles == slow.toggles
+
+
+class TestMemoryVectorization:
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=40)
+    def test_write_read_roundtrip_with_duplicates(self, seed):
+        rng = np.random.default_rng(seed)
+        mem = GlobalMemory(size_bytes=4096)
+        addrs = rng.integers(0, 1024, LANES, dtype=np.int64) * 4
+        vals = rng.integers(0, 2**32, LANES, dtype=np.uint32)
+        mask = rng.random(LANES) < 0.7
+        mem.write_u32(addrs, vals, mask=mask)
+        # Scalar oracle: apply writes in order, last write wins.
+        image = np.zeros(4096, dtype=np.uint8)
+        for a, v, keep in zip(addrs, vals, mask):
+            if keep:
+                image[a:a + 4] = np.uint32(v).reshape(1).view(np.uint8)
+        assert np.array_equal(mem.image, image)
+        got = mem.read_u32(addrs)
+        expected = np.ascontiguousarray(
+            np.stack([image[a:a + 4] for a in addrs])).view(
+                np.uint32).ravel()
+        assert np.array_equal(got, expected)
+
+    def test_empty_write_is_noop(self):
+        mem = GlobalMemory(size_bytes=1024)
+        before = mem.image.copy()
+        mem.write_u32(np.asarray([4, 8], dtype=np.int64),
+                      np.asarray([1, 2], dtype=np.uint32),
+                      mask=np.asarray([False, False]))
+        assert np.array_equal(mem.image, before)
+
+
+# ---------------------------------------------------------------------------
+# Trace memoization
+# ---------------------------------------------------------------------------
+
+class _Renamed:
+    """Same app object, different name (and thus different memo keys)."""
+
+    def __init__(self, app, name):
+        self._app = app
+        self.name = name
+
+    def __getattr__(self, attr):
+        return getattr(self._app, attr)
+
+
+def _worker_cache_sizes(queue):
+    from repro.kernels import get_app
+    from repro.sim import cache_sizes, simulate_app
+    simulate_app(get_app("VEC"))
+    queue.put(cache_sizes())
+
+
+class TestTraceMemo:
+    def test_hit_and_miss_counters(self):
+        from repro.kernels import get_app
+        from repro.sim import cache_sizes, clear_caches, simulate_app
+        clear_caches()
+        app = get_app("VEC")
+        first = simulate_app(app)
+        sizes = cache_sizes()
+        assert sizes["trace"] == 1
+        assert sizes["trace_misses"] == 1
+        assert sizes["trace_hits"] == 0
+
+        # Same name: served by the (name, config) stats cache, the
+        # content memo is never consulted.
+        simulate_app(app)
+        assert cache_sizes()["trace_hits"] == 0
+
+        # Same bytes, different name: content-hash hit.
+        renamed = simulate_app(_Renamed(app, "VEC-clone"))
+        sizes = cache_sizes()
+        assert sizes["trace_hits"] == 1
+        assert sizes["trace_misses"] == 1
+        assert sizes["trace"] == 1
+        assert renamed.app_name == "VEC-clone"
+        assert renamed.counts == first.counts
+        assert renamed.noc_toggles == first.noc_toggles
+        assert renamed.cycles == first.cycles
+        clear_caches()
+
+    def test_clear_caches_drops_memo_and_counters(self):
+        from repro.kernels import get_app
+        from repro.sim import cache_sizes, clear_caches, simulate_app
+        clear_caches()
+        simulate_app(get_app("VEC"))
+        assert cache_sizes()["trace"] == 1
+        clear_caches()
+        sizes = cache_sizes()
+        assert sizes == {"functional": 0, "stats": 0, "trace": 0,
+                         "trace_hits": 0, "trace_misses": 0}
+
+    def test_different_data_misses(self):
+        from repro.kernels import get_app
+        from repro.sim import cache_sizes, clear_caches, simulate_app
+        clear_caches()
+        simulate_app(get_app("VEC"))
+        # A renamed app rebuilds with a name-derived seed, so its data
+        # (and trace digest) genuinely differ: must be a miss.
+        import dataclasses
+        simulate_app(dataclasses.replace(get_app("VEC"), name="VEC-other"))
+        sizes = cache_sizes()
+        assert sizes["trace_misses"] == 2
+        assert sizes["trace_hits"] == 0
+        assert sizes["trace"] == 2
+        clear_caches()
+
+    def test_fault_runs_bypass_trace_memo(self):
+        from repro.faults import FaultModel
+        from repro.kernels import get_app
+        from repro.sim import cache_sizes, clear_caches, simulate_app
+        clear_caches()
+        fm = FaultModel(mode="uniform", p_flip=1e-6, seed=1)
+        simulate_app(get_app("VEC"), fault_model=fm)
+        sizes = cache_sizes()
+        assert sizes["trace"] == 0
+        assert sizes["trace_hits"] == 0
+        assert sizes["trace_misses"] == 0
+        clear_caches()
+
+    def test_parallel_workers_keep_process_local_memos(self):
+        from repro.sim import cache_sizes, clear_caches
+        clear_caches()
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_worker_cache_sizes, args=(queue,))
+        proc.start()
+        worker_sizes = queue.get(timeout=120)
+        proc.join(timeout=120)
+        assert worker_sizes["trace"] == 1
+        assert worker_sizes["trace_misses"] == 1
+        # The parent's memo never saw the worker's entries.
+        assert cache_sizes()["trace"] == 0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: a fully scalar replay of a real app equals the batched one
+# ---------------------------------------------------------------------------
+
+class _ScalarBatch:
+    """TallyBatch stand-in that tallies immediately via the oracles."""
+
+    def __init__(self, encoders, tally, flush_every=0):
+        self.encoders = encoders
+        self.tally = tally
+
+    def add_warp(self, unit, values, active, is_store):
+        self.encoders.tally_data(self.tally, unit, values, is_store,
+                                 blocked="warp", active=active)
+
+    def add_line(self, unit, line_words, is_store, subset=None):
+        oracle_tally_line(self.encoders, self.tally, unit, line_words,
+                          is_store, subset)
+
+    def add_inst(self, unit, word, is_store, count=1):
+        oracle_tally_inst_word(self.encoders, self.tally, unit, word,
+                               is_store, count)
+
+    def flush(self):
+        pass
+
+
+class TestEndToEndEquivalence:
+    def test_scalar_pipeline_reproduces_batched_results(self, monkeypatch):
+        """Simulate VEC twice — once on the vectorized pipeline, once
+        with every deferred/batched path swapped for the pinned scalar
+        oracles — and require identical tallies and NoC toggles."""
+        from repro.core.masks import derive_mask
+        from repro.kernels import get_app
+        from repro.sim import _functional_pass, clear_caches
+        from repro.arch.config import BASELINE_CONFIG
+        import repro.arch.engine as engine_mod
+        import repro.arch.gpu as gpu_mod
+        import repro.arch.noc as noc_mod
+
+        app = get_app("VEC")
+
+        clear_caches()
+        functional, __ = _functional_pass(app, 21)
+        isa_mask = derive_mask(functional.trace.static_binary)
+        encoders = Encoders(isa_mask=isa_mask, pivot_lane=21)
+        fast = GPUReplay(BASELINE_CONFIG, encoders).run(functional.trace)
+        fast_functional_counts = functional.tally.counts
+
+        clear_caches()
+        monkeypatch.setattr(engine_mod, "TallyBatch", _ScalarBatch)
+        monkeypatch.setattr(gpu_mod, "TallyBatch", _ScalarBatch)
+        monkeypatch.setattr(noc_mod, "NoCStats", OracleNoC)
+        scalar_functional, __ = _functional_pass(app, 21)
+        scalar_encoders = Encoders(isa_mask=isa_mask, pivot_lane=21)
+        slow = GPUReplay(BASELINE_CONFIG,
+                         scalar_encoders).run(scalar_functional.trace)
+
+        assert scalar_functional.tally.counts == fast_functional_counts
+        assert slow.tally.counts == fast.tally.counts
+        assert slow.noc.stats.toggles == fast.noc.stats.toggles
+        assert slow.noc.stats.flits == fast.noc.stats.flits
+        assert slow.timing.cycles == fast.timing.cycles
+        clear_caches()
