@@ -11,10 +11,15 @@ Usage::
     python -m repro run all --resume ck.json       # pick up where it died
     python -m repro run all --resume ck.json --jobs 4  # parallel resume
     python -m repro run all --trace t.jsonl --metrics-out m.json
+    python -m repro run all --ledger run.jsonl --jobs 4  # live telemetry
     python -m repro app ATA                 # quick single-app study
     python -m repro obs report --apps ATA,VEC      # energy provenance
     python -m repro obs tree t.jsonl --min-ms 5 --sort duration
     python -m repro obs report --metrics m.json     # histogram summary
+    python -m repro obs watch run.jsonl             # live dashboard
+    python -m repro obs watch run.jsonl --once      # one snapshot
+    python -m repro obs diff --trace old.jsonl new.jsonl --gate
+    python -m repro obs diff --ledger old.jsonl new.jsonl
     python -m repro bench run --suite smoke        # BENCH_<ts>.json
     python -m repro bench hotspots t.jsonl --folded out.folded
     python -m repro bench compare old.json new.json --gate
@@ -31,14 +36,15 @@ structure, metrics snapshot and fidelity scorecard are deterministic
 the same way.
 
 Exit codes: 0 success, 1 regression flagged by a ``--gate`` (``bench
-compare``, ``fidelity compare``, a calibrated-claim failure under
-``fidelity run --gate``, or a chaos campaign scenario that did not
-survive), 2 usage error (unknown experiment/app/suite/scenario/scale/
-campaign, bad --chaos spec, missing resume/trace/record file), 3 sweep
-completed but some units failed (or a provenance total failed to
-reproduce the chip model exactly, or an output sink was unwritable),
-130 sweep drained after SIGTERM/SIGINT — completed units are
-checkpointed and ``--resume`` picks up from the frontier.
+compare``, ``fidelity compare``, ``obs diff``, a calibrated-claim
+failure under ``fidelity run --gate``, or a chaos campaign scenario
+that did not survive), 2 usage error (unknown experiment/app/suite/
+scenario/scale/campaign, bad --chaos spec, missing resume/trace/
+ledger/record file), 3 sweep completed but some units failed (or a
+provenance total failed to reproduce the chip model exactly, or an
+output sink was unwritable), 130 sweep drained after SIGTERM/SIGINT —
+completed units are checkpointed and ``--resume`` picks up from the
+frontier.
 """
 
 from __future__ import annotations
@@ -102,6 +108,8 @@ def _run_resilient(args, experiments, apps) -> int:
             metrics_path=args.metrics_out,
             chaos=chaos,
             max_dispatches=args.max_dispatches,
+            ledger_path=args.ledger,
+            max_sink_bytes=args.max_sink_bytes,
         )
     except FileNotFoundError:
         print(f"resume checkpoint not found: {args.resume!r}",
@@ -166,7 +174,8 @@ def cmd_run(args) -> int:
     # Observability sinks need the unit-record machinery, so they force
     # the resilient path (which is result-identical to the plain one).
     resilient = bool(args.checkpoint or args.resume or args.jobs > 1
-                     or args.trace or args.metrics_out or args.chaos)
+                     or args.trace or args.metrics_out or args.chaos
+                     or args.ledger)
     if args.experiment == "all" or resilient:
         experiments = None if args.experiment == "all" else [args.experiment]
         return _run_resilient(args, experiments, apps)
@@ -202,25 +211,63 @@ OBS_REPORT_DEFAULT_APPS = "ATA,VEC"
 
 
 def _read_trace_file(path: str):
-    """Trace JSONL text, or None after printing a usage error."""
+    """Trace JSONL text, or None after printing a usage error.
+
+    Size-capped sinks rotate into ``path.1``, ``path.2``, … — the
+    segments are reassembled (oldest first) transparently, so ``obs
+    tree`` and ``bench hotspots`` work on rotated traces unchanged.
+    """
+    from .obs.ledger import read_jsonl_segments
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            return fh.read()
+        return read_jsonl_segments(path)
     except OSError as exc:
         print(f"cannot read trace {path!r}: {exc}", file=sys.stderr)
         return None
 
 
-def cmd_obs(args) -> int:
-    if args.obs_command == "tree":
-        text = _read_trace_file(args.trace)
-        if text is None:
-            return 2
-        from .obs.tracer import render_jsonl_tree
-        print(render_jsonl_tree(text, min_ms=args.min_ms, sort=args.sort))
-        return 0
+def _cmd_obs_tree(args) -> int:
+    text = _read_trace_file(args.trace)
+    if text is None:
+        return 2
+    from .obs.tracer import render_jsonl_tree
+    print(render_jsonl_tree(text, min_ms=args.min_ms, sort=args.sort))
+    return 0
 
-    # obs report
+
+def _cmd_obs_watch(args) -> int:
+    from .obs.live import watch
+    if args.interval <= 0:
+        print("--interval must be > 0", file=sys.stderr)
+        return 2
+    return watch(args.ledger, once=args.once, interval_s=args.interval,
+                 max_rows=args.max_rows)
+
+
+def _cmd_obs_diff(args) -> int:
+    from .obs.diff import diff_paths, gate_exit_code, render_diff_table
+    pairs = {"trace": args.trace, "metrics": args.metrics,
+             "ledger": args.ledger}
+    if not any(pairs.values()):
+        print("obs diff: pass at least one artifact pair "
+              "(--trace OLD NEW, --metrics OLD NEW, --ledger OLD NEW)",
+              file=sys.stderr)
+        return 2
+    try:
+        deltas = diff_paths(trace=args.trace, metrics=args.metrics,
+                            ledger=args.ledger,
+                            rel_threshold=args.threshold,
+                            abs_floor_s=args.abs_floor_s)
+    except (OSError, ValueError) as exc:
+        print(f"obs diff: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff_table(deltas, show_ok=args.show_ok))
+    code = gate_exit_code(deltas, args.gate)
+    if code:
+        print("obs diff gate FAILED", file=sys.stderr)
+    return code
+
+
+def _cmd_obs_report(args) -> int:
     if args.metrics:
         import json
         from .obs.report import render_metrics_summary
@@ -250,6 +297,12 @@ def cmd_obs(args) -> int:
               "exactly", file=sys.stderr)
         return 3
     return 0
+
+
+def cmd_obs(args) -> int:
+    handler = {"tree": _cmd_obs_tree, "watch": _cmd_obs_watch,
+               "diff": _cmd_obs_diff, "report": _cmd_obs_report}
+    return handler[args.obs_command](args)
 
 
 def _cmd_bench_run(args) -> int:
@@ -500,6 +553,15 @@ def main(argv=None) -> int:
     run_p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the sweep's merged metrics here (JSON; "
                             "Prometheus text for .prom/.txt)")
+    run_p.add_argument("--ledger", default=None, metavar="PATH",
+                       help="stream live lifecycle events to this "
+                            "append-only JSONL run ledger (tail it with "
+                            "'repro obs watch PATH')")
+    run_p.add_argument("--max-sink-bytes", type=int, default=None,
+                       metavar="N",
+                       help="size-cap the ledger and trace sinks: rotate "
+                            "to PATH.1, PATH.2, ... past N bytes "
+                            "(default: unbounded)")
     run_p.add_argument("--chaos", default=None, metavar="SPEC",
                        help="inject deterministic harness faults, e.g. "
                             "'kill=0.5,torn=0.3,hang_s=2' (kinds: kill, "
@@ -545,6 +607,50 @@ def main(argv=None) -> int:
                         choices=("start", "duration"),
                         help="child order: insertion (start) or "
                              "longest-first (duration)")
+    watch_p = obs_sub.add_parser(
+        "watch", help="live terminal dashboard over a --ledger stream: "
+                      "per-unit state, throughput, MAD-based ETA, "
+                      "straggler highlighting")
+    watch_p.add_argument("ledger", metavar="LEDGER.jsonl")
+    watch_p.add_argument("--once", action="store_true",
+                         help="render one snapshot and exit (exit 2 if "
+                              "the ledger does not exist yet)")
+    watch_p.add_argument("--interval", type=float, default=1.0,
+                         metavar="S",
+                         help="poll/redraw cadence in seconds "
+                              "(default: 1.0)")
+    watch_p.add_argument("--max-rows", type=int, default=24, metavar="N",
+                         help="unit rows to show, live work first "
+                              "(default: 24; 0 = all)")
+    diff_p = obs_sub.add_parser(
+        "diff", help="cross-run comparator: align two runs' traces, "
+                     "metrics snapshots, and/or ledgers and grade the "
+                     "deltas (ok/regression/improved/changed/new/"
+                     "missing)")
+    diff_p.add_argument("--trace", nargs=2, default=None,
+                        metavar=("OLD.jsonl", "NEW.jsonl"),
+                        help="align two merged span trees by name-path")
+    diff_p.add_argument("--metrics", nargs=2, default=None,
+                        metavar=("OLD.json", "NEW.json"),
+                        help="align two --metrics-out JSON snapshots "
+                             "series-by-series")
+    diff_p.add_argument("--ledger", nargs=2, default=None,
+                        metavar=("OLD.jsonl", "NEW.jsonl"),
+                        help="align two run ledgers per unit over "
+                             "normalized lifecycles")
+    diff_p.add_argument("--gate", action="store_true",
+                        help="exit 1 on any regression/changed/new/"
+                             "missing identity")
+    diff_p.add_argument("--threshold", type=float, default=0.25,
+                        metavar="REL",
+                        help="relative wall-shift bar for trace timing "
+                             "verdicts (default: 0.25)")
+    diff_p.add_argument("--abs-floor-s", type=float, default=0.05,
+                        metavar="S",
+                        help="absolute wall-shift floor in seconds "
+                             "(default: 0.05)")
+    diff_p.add_argument("--show-ok", action="store_true",
+                        help="list ok identities too, not just counts")
 
     bench_p = sub.add_parser(
         "bench", help="continuous benchmarking: run suites, attribute "

@@ -95,10 +95,12 @@ CAMPAIGNS: Dict[str, Tuple[CampaignScenario, ...]] = {
 }
 
 #: Record fields that legitimately differ between a chaotic and a
-#: fault-free run (timings, retry accounting, obs measurements) —
-#: everything else must match exactly.
+#: fault-free run (timings, retry accounting, obs measurements,
+#: process identity, memo warmth) — everything else must match
+#: exactly.
 _VOLATILE_RECORD_FIELDS = ("attempts", "wall_s", "unit_wall_s", "obs",
-                           "dispatches")
+                           "dispatches", "pid", "timeouts",
+                           "memo_hits", "memo_misses")
 
 
 def checkpoint_digest(records: Dict[str, dict]) -> str:

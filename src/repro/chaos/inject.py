@@ -67,13 +67,20 @@ def corrupt_record(record: dict) -> dict:
     return mangled
 
 
-def checkpoint_chaos_hook(plan: ChaosPlan) -> Callable:
+def checkpoint_chaos_hook(plan: ChaosPlan,
+                          emit: Optional[Callable[[str, int], None]] = None
+                          ) -> Callable:
     """Build the ``Checkpoint.chaos_hook`` for one plan.
 
     The hook is called by :meth:`Checkpoint.save` with
     ``(checkpoint, payload_text)`` before the real write. It mutates a
     parent-side counter on the plan, so it must only be installed in
     the parent process (workers never write checkpoints).
+
+    ``emit(kind, save_index)``, when given, observes every fault the
+    hook actually fires — the sweep runner routes it into the run
+    ledger as a ``chaos_injected`` event, so a watcher can tell an
+    injected ``ENOSPC`` from a real one.
     """
     state = {"saves": 0}
 
@@ -82,6 +89,8 @@ def checkpoint_chaos_hook(plan: ChaosPlan) -> Callable:
         event = plan.checkpoint_event(state["saves"])
         if event is None:
             return
+        if emit is not None:
+            emit(event.kind, state["saves"])
         if event.kind == "enospc":
             raise OSError(errno.ENOSPC,
                           "chaos: no space left on device")

@@ -15,9 +15,15 @@ Three first-class artifacts, threaded through the whole stack:
 * **energy provenance** (:mod:`~repro.obs.provenance`): every chip-level
   pJ figure decomposed into (unit x variant x access-type) rows that
   reproduce :meth:`~repro.power.chip.ChipModel.evaluate` exactly.
+* **live run ledger** (:mod:`~repro.obs.ledger`): an append-only JSONL
+  stream of typed, monotonically sequenced sweep lifecycle events,
+  tailed by :mod:`~repro.obs.live` (``repro obs watch``) and compared
+  across runs by :mod:`~repro.obs.diff` (``repro obs diff``).
 
 CLI: ``repro obs report`` (provenance tables), ``repro obs tree``
-(render a trace), and ``--trace``/``--metrics-out`` on ``repro run``.
+(render a trace), ``repro obs watch`` (live dashboard over a ledger),
+``repro obs diff`` (cross-run comparator), and ``--trace``/
+``--metrics-out``/``--ledger`` on ``repro run``.
 """
 
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
@@ -38,6 +44,15 @@ _LAZY = {
     "publish_app_metrics": "report", "write_text_sink": "report",
     "write_trace_jsonl": "report", "write_metrics": "report",
     "provenance_report": "report",
+    "LEDGER_SCHEMA_VERSION": "ledger", "EVENT_TYPES": "ledger",
+    "RunLedger": "ledger", "LedgerFollower": "ledger",
+    "RotatingJsonlSink": "ledger", "read_ledger": "ledger",
+    "read_jsonl_segments": "ledger", "normalize_events": "ledger",
+    "validate_ledger": "ledger",
+    "RunState": "live", "render_dashboard": "live", "watch": "live",
+    "PathDelta": "diff", "diff_paths": "diff", "diff_traces": "diff",
+    "diff_metrics": "diff", "diff_ledgers": "diff",
+    "render_diff_table": "diff",
 }
 
 
@@ -65,4 +80,10 @@ __all__ = [
     "build_provenance", "variant_dynamic_matrix",
     "publish_app_metrics", "write_text_sink", "write_trace_jsonl",
     "write_metrics", "provenance_report",
+    "LEDGER_SCHEMA_VERSION", "EVENT_TYPES", "RunLedger",
+    "LedgerFollower", "RotatingJsonlSink", "read_ledger",
+    "read_jsonl_segments", "normalize_events", "validate_ledger",
+    "RunState", "render_dashboard", "watch",
+    "PathDelta", "diff_paths", "diff_traces", "diff_metrics",
+    "diff_ledgers", "render_diff_table",
 ]

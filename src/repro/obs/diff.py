@@ -1,0 +1,364 @@
+"""`repro obs diff`: cross-run comparison of observability artifacts.
+
+Answers "did PR N change what this sweep *does*, not just its bytes"
+as a one-command question, by aligning two runs' artifacts on their
+stable identities and reporting deltas with the bench-style verdict
+vocabulary and exit-code contract:
+
+* **span trees** (trace JSONL files, rotated segments included) align
+  by *name-path* — the ``/``-joined span names from the root down,
+  enriched with the identifying ``key``/``app`` attrs so
+  ``sweep/unit[fig18::BFS]/simulate_app`` is one row regardless of
+  worker count or completion order. Wall/CPU shifts past both a
+  relative threshold and an absolute floor grade ``regression`` /
+  ``improved``; a path present in only one run grades ``new`` /
+  ``missing`` — those are *structural* changes, the strongest signal
+  that a run now does different work.
+* **metrics snapshots** (``--metrics-out`` JSON) align by
+  ``family{labels}`` series identity. Counters and gauges are exact
+  by the determinism contract, so any value change grades ``changed``
+  (volatile families — RSS, memo warmth, supervision counters — are
+  skipped the same way the golden suite strips them).
+* **run ledgers** align per unit key after
+  :func:`~repro.obs.ledger.normalize_events`: a unit whose normalized
+  lifecycle differs (extra retries, a new quarantine, different final
+  status) grades ``changed``.
+
+Verdicts: ``ok`` / ``regression`` / ``improved`` (timing, gated by
+thresholds) and ``changed`` / ``new`` / ``missing`` (semantic).
+``--gate`` turns any of the latter three plus ``regression`` into
+exit code 1, mirroring ``bench compare``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .ledger import normalize_events, read_ledger, read_jsonl_segments
+from .metrics import VOLATILE_METRIC_FAMILIES
+from .tracer import jsonl_to_trees
+
+__all__ = [
+    "DIFF_VERDICTS", "PathDelta", "aggregate_trace", "diff_traces",
+    "diff_metrics", "diff_ledgers", "render_diff_table",
+    "gate_exit_code", "DEFAULT_REL_THRESHOLD", "DEFAULT_ABS_FLOOR_S",
+]
+
+#: Compare-verdict vocabulary, a superset of the bench gate's timing
+#: verdicts: ``changed`` marks a semantic difference (metric value,
+#: normalized unit lifecycle) that no threshold can excuse.
+DIFF_VERDICTS = ("ok", "regression", "improved", "changed", "new",
+                 "missing")
+
+DEFAULT_REL_THRESHOLD = 0.25
+DEFAULT_ABS_FLOOR_S = 0.05
+
+#: Verdicts that flip ``--gate`` to exit 1.
+_GATING = ("regression", "changed", "new", "missing")
+
+
+@dataclass
+class PathDelta:
+    """Verdict for one aligned identity (span path, series, unit)."""
+
+    kind: str                    # trace | metric | ledger
+    name: str                    # the aligned identity
+    verdict: str
+    old: Optional[float] = None  # old wall_s / metric value
+    new: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def gates(self) -> bool:
+        return self.verdict in _GATING
+
+
+# ---------------------------------------------------------------------------
+# Trace alignment
+# ---------------------------------------------------------------------------
+
+#: Attrs that identify a span (fold into its path) rather than
+#: describe it. ``key`` is the unit key, ``app`` the kernel name.
+_IDENTITY_ATTRS = ("key", "app", "name")
+
+
+def _span_path_name(node: dict) -> str:
+    attrs = node.get("attrs") or {}
+    for attr in _IDENTITY_ATTRS:
+        value = attrs.get(attr)
+        if isinstance(value, str) and value:
+            return f"{node.get('name', '?')}[{value}]"
+    return str(node.get("name", "?"))
+
+
+def aggregate_trace(roots: List[dict]) -> Dict[str, dict]:
+    """Per-name-path aggregates of one run's span trees.
+
+    Returns ``{path: {"calls", "wall_s", "cpu_s"}}`` where ``path`` is
+    the ``/``-joined identity from the root down. Sibling spans with
+    the same identity (repeated attempts, retried units) aggregate
+    into one row, which is what makes two runs of different retry
+    counts comparable at all — the *calls* delta then carries the
+    retry story.
+    """
+    aggregates: Dict[str, dict] = {}
+
+    def _walk(node: dict, prefix: str) -> None:
+        path = (prefix + "/" if prefix else "") + _span_path_name(node)
+        row = aggregates.setdefault(
+            path, {"calls": 0, "wall_s": 0.0, "cpu_s": 0.0})
+        row["calls"] += 1
+        row["wall_s"] += float(node.get("wall_s") or 0.0)
+        row["cpu_s"] += float(node.get("cpu_s") or 0.0)
+        for child in node.get("children", []):
+            _walk(child, path)
+
+    for root in roots:
+        _walk(root, "")
+    return aggregates
+
+
+def diff_traces(old_roots: List[dict], new_roots: List[dict],
+                rel_threshold: float = DEFAULT_REL_THRESHOLD,
+                abs_floor_s: float = DEFAULT_ABS_FLOOR_S
+                ) -> List[PathDelta]:
+    """Align two runs' span trees by name-path and grade the deltas.
+
+    Timing verdicts need *both* bars — relative shift past
+    ``rel_threshold`` and absolute shift past ``abs_floor_s`` — so
+    micro-spans' scheduler jitter never pages anyone. A calls-count
+    difference on a shared path grades ``changed`` (the run did a
+    different number of that thing; time is then beside the point).
+    """
+    old_agg = aggregate_trace(old_roots)
+    new_agg = aggregate_trace(new_roots)
+    deltas: List[PathDelta] = []
+    for path in sorted(set(old_agg) | set(new_agg)):
+        if path not in old_agg:
+            deltas.append(PathDelta(
+                "trace", path, "new",
+                new=new_agg[path]["wall_s"],
+                detail=f"calls={new_agg[path]['calls']}"))
+            continue
+        if path not in new_agg:
+            deltas.append(PathDelta(
+                "trace", path, "missing",
+                old=old_agg[path]["wall_s"],
+                detail=f"calls={old_agg[path]['calls']}"))
+            continue
+        old_row, new_row = old_agg[path], new_agg[path]
+        delta = PathDelta("trace", path, "ok",
+                          old=old_row["wall_s"], new=new_row["wall_s"])
+        if old_row["calls"] != new_row["calls"]:
+            delta.verdict = "changed"
+            delta.detail = (f"calls {old_row['calls']} -> "
+                            f"{new_row['calls']}")
+        else:
+            shift = new_row["wall_s"] - old_row["wall_s"]
+            rel = (shift / old_row["wall_s"]
+                   if old_row["wall_s"] > 0 else 0.0)
+            if rel > rel_threshold and shift > abs_floor_s:
+                delta.verdict = "regression"
+                delta.detail = f"wall {rel:+.0%}"
+            elif rel < -rel_threshold and -shift > abs_floor_s:
+                delta.verdict = "improved"
+                delta.detail = f"wall {rel:+.0%}"
+        deltas.append(delta)
+    return deltas
+
+
+# ---------------------------------------------------------------------------
+# Metrics alignment
+# ---------------------------------------------------------------------------
+
+def _series_map(snapshot: dict) -> Dict[str, object]:
+    """Flatten a registry snapshot to ``{family{labels}: value}``.
+
+    Volatile families are dropped — they measure the host, not the
+    sweep — and histogram values reduce to their observation count
+    (the deterministic part of a histogram).
+    """
+    series: Dict[str, object] = {}
+    for name in sorted(snapshot.get("families", {})):
+        if name in VOLATILE_METRIC_FAMILIES:
+            continue
+        family = snapshot["families"][name]
+        for entry in family.get("series", []):
+            labels = entry.get("labels") or {}
+            suffix = ("{" + ",".join(f"{k}={labels[k]}"
+                                     for k in sorted(labels)) + "}"
+                      if labels else "")
+            value = entry.get("value")
+            if family.get("kind") == "histogram" and isinstance(value,
+                                                                dict):
+                value = value.get("count")
+            series[f"{name}{suffix}"] = value
+    return series
+
+
+def diff_metrics(old_snapshot: dict, new_snapshot: dict
+                 ) -> List[PathDelta]:
+    """Align two metrics snapshots series-by-series.
+
+    Counter/gauge values are deterministic by construction, so any
+    difference on a shared series is ``changed`` — no threshold.
+    """
+    old_series = _series_map(old_snapshot)
+    new_series = _series_map(new_snapshot)
+    deltas: List[PathDelta] = []
+
+    def _num(value) -> Optional[float]:
+        return float(value) if isinstance(value, (int, float)) else None
+
+    for name in sorted(set(old_series) | set(new_series)):
+        if name not in old_series:
+            deltas.append(PathDelta("metric", name, "new",
+                                    new=_num(new_series[name])))
+        elif name not in new_series:
+            deltas.append(PathDelta("metric", name, "missing",
+                                    old=_num(old_series[name])))
+        elif old_series[name] != new_series[name]:
+            deltas.append(PathDelta(
+                "metric", name, "changed",
+                old=_num(old_series[name]), new=_num(new_series[name]),
+                detail=f"{old_series[name]} -> {new_series[name]}"))
+        else:
+            deltas.append(PathDelta("metric", name, "ok",
+                                    old=_num(old_series[name]),
+                                    new=_num(new_series[name])))
+    return deltas
+
+
+# ---------------------------------------------------------------------------
+# Ledger alignment
+# ---------------------------------------------------------------------------
+
+def diff_ledgers(old_events: List[dict], new_events: List[dict]
+                 ) -> List[PathDelta]:
+    """Align two ledgers per unit key over normalized lifecycles.
+
+    Each unit's volatility-stripped event sequence (types + stable
+    attrs, in seq order) is its lifecycle signature; a differing
+    signature on a shared key grades ``changed``. Sweep-level events
+    (null key) compare as one synthetic ``<sweep>`` row.
+    """
+    def _signatures(events: List[dict]) -> Dict[str, List[tuple]]:
+        signatures: Dict[str, List[tuple]] = {}
+        for event in normalize_events(events):
+            key = event["key"] or "<sweep>"
+            signatures.setdefault(key, []).append(
+                (event["type"], tuple(sorted(event["attrs"].items()))))
+        return signatures
+
+    old_sig = _signatures(old_events)
+    new_sig = _signatures(new_events)
+    deltas: List[PathDelta] = []
+    for key in sorted(set(old_sig) | set(new_sig)):
+        if key not in old_sig:
+            deltas.append(PathDelta("ledger", key, "new",
+                                    detail=f"{len(new_sig[key])} events"))
+        elif key not in new_sig:
+            deltas.append(PathDelta("ledger", key, "missing",
+                                    detail=f"{len(old_sig[key])} events"))
+        elif old_sig[key] != new_sig[key]:
+            old_types = [t for t, _ in old_sig[key]]
+            new_types = [t for t, _ in new_sig[key]]
+            if old_types != new_types:
+                detail = (f"lifecycle {'+'.join(old_types)} -> "
+                          f"{'+'.join(new_types)}")
+            else:
+                detail = "event attrs differ"
+            deltas.append(PathDelta("ledger", key, "changed",
+                                    old=float(len(old_sig[key])),
+                                    new=float(len(new_sig[key])),
+                                    detail=detail))
+        else:
+            deltas.append(PathDelta("ledger", key, "ok",
+                                    old=float(len(old_sig[key])),
+                                    new=float(len(new_sig[key]))))
+    return deltas
+
+
+# ---------------------------------------------------------------------------
+# Loading, rendering, gating
+# ---------------------------------------------------------------------------
+
+def load_trace_roots(path: str) -> List[dict]:
+    """Span trees of a trace JSONL file (rotated segments included)."""
+    return jsonl_to_trees(read_jsonl_segments(path))
+
+
+def load_metrics_snapshot(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    if not isinstance(snapshot, dict) or "families" not in snapshot:
+        raise ValueError(
+            f"{path!r} is not a metrics snapshot (no families table); "
+            f"pass the --metrics-out JSON file of a sweep")
+    return snapshot
+
+
+def diff_paths(trace: Optional[Tuple[str, str]] = None,
+               metrics: Optional[Tuple[str, str]] = None,
+               ledger: Optional[Tuple[str, str]] = None,
+               rel_threshold: float = DEFAULT_REL_THRESHOLD,
+               abs_floor_s: float = DEFAULT_ABS_FLOOR_S
+               ) -> List[PathDelta]:
+    """Load and diff whichever artifact pairs were given."""
+    deltas: List[PathDelta] = []
+    if trace is not None:
+        deltas.extend(diff_traces(load_trace_roots(trace[0]),
+                                  load_trace_roots(trace[1]),
+                                  rel_threshold=rel_threshold,
+                                  abs_floor_s=abs_floor_s))
+    if metrics is not None:
+        deltas.extend(diff_metrics(load_metrics_snapshot(metrics[0]),
+                                   load_metrics_snapshot(metrics[1])))
+    if ledger is not None:
+        deltas.extend(diff_ledgers(read_ledger(ledger[0]),
+                                   read_ledger(ledger[1])))
+    return deltas
+
+
+def render_diff_table(deltas: List[PathDelta],
+                      show_ok: bool = False) -> str:
+    """Human summary: one line per non-ok identity (+ ok counts)."""
+    lines: List[str] = []
+    ok_by_kind: Dict[str, int] = {}
+    flagged = []
+    for delta in deltas:
+        if delta.verdict == "ok" and not show_ok:
+            ok_by_kind[delta.kind] = ok_by_kind.get(delta.kind, 0) + 1
+            continue
+        flagged.append(delta)
+    if flagged:
+        name_w = min(max(len(d.name) for d in flagged), 56)
+        header = (f"{'kind':<7} {'identity':<{name_w}} "
+                  f"{'old':>10} {'new':>10}  verdict")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for delta in flagged:
+            old = "-" if delta.old is None else f"{delta.old:.4g}"
+            new = "-" if delta.new is None else f"{delta.new:.4g}"
+            verdict = (delta.verdict.upper() if delta.gates
+                       else delta.verdict)
+            line = (f"{delta.kind:<7} {delta.name[:name_w]:<{name_w}} "
+                    f"{old:>10} {new:>10}  {verdict}")
+            if delta.detail:
+                line += f"  ({delta.detail})"
+            lines.append(line)
+    for kind in sorted(ok_by_kind):
+        lines.append(f"{ok_by_kind[kind]} {kind} identities ok")
+    gating = sum(1 for d in deltas if d.gates)
+    lines.append(f"{gating} gating difference(s) "
+                 f"across {len(deltas)} aligned identities")
+    return "\n".join(lines)
+
+
+def gate_exit_code(deltas: List[PathDelta], gate: bool) -> int:
+    """0 when clean (or not gating), 1 when gating with differences."""
+    if gate and any(d.gates for d in deltas):
+        return 1
+    return 0

@@ -1,0 +1,396 @@
+"""`repro obs watch`: a live terminal dashboard over a run ledger.
+
+Stdlib only, by design: the watcher is the thing you run on a login
+node over ssh while a two-hour sweep grinds elsewhere, so it must not
+care whether numpy imports. It never *writes* anything — the ledger is
+tailed read-only through :class:`~repro.obs.ledger.LedgerFollower`, so
+watching a live sweep cannot block or corrupt it.
+
+:class:`RunState` is the pure part: fold ledger events into per-unit
+state and sweep-level aggregates; :func:`render_dashboard` turns one
+state into the screenful; :func:`watch` is the poll/redraw loop with
+``--once`` snapshot mode. The ETA uses the median completed-unit wall
+time with a MAD-derived uncertainty band — the same robust statistics
+the pool's straggler detector and the bench gate already use — and the
+straggler highlight mirrors the pool's threshold
+(``max(k × median, floor)``) so "!" in the dashboard means exactly
+"the supervisor would re-queue this now".
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+from typing import Callable, Dict, List, Optional
+
+from .ledger import LedgerFollower, ledger_segments
+
+__all__ = ["RunState", "UnitView", "render_dashboard", "watch",
+           "DEFAULT_INTERVAL_S", "DEFAULT_MAX_ROWS"]
+
+DEFAULT_INTERVAL_S = 1.0
+DEFAULT_MAX_ROWS = 24
+
+#: Straggler-highlight defaults; mirrored from the pool supervisor so
+#: the dashboard's "!" and the supervisor's re-queue agree.
+_STRAGGLER_K = 4.0
+_STRAGGLER_FLOOR_S = 30.0
+
+#: Dashboard ordering weight per unit state: live work first, then
+#: terminal failures, then the quiet bulk.
+_STATE_ORDER = {"running": 0, "retrying": 1, "quarantined": 2,
+                "failed": 3, "ok": 4, "scheduled": 5, "skipped": 6}
+
+
+class UnitView:
+    """Mutable per-unit state folded out of the event stream."""
+
+    __slots__ = ("key", "state", "started_ts", "ended_ts", "attempts",
+                 "dispatches", "wall_s", "note")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.state = "scheduled"
+        self.started_ts: Optional[float] = None
+        self.ended_ts: Optional[float] = None
+        self.attempts = 0
+        self.dispatches = 0
+        self.wall_s: Optional[float] = None
+        self.note = ""
+
+
+class RunState:
+    """Aggregate view of one sweep, built by folding ledger events.
+
+    Feed events (in any seq-respecting order) through :meth:`fold`;
+    read the per-unit table from ``units`` and the sweep aggregates
+    from the remaining attributes. Folding is idempotent per event and
+    never raises on unknown event types — future vocabulary growth
+    must not break old watchers.
+    """
+
+    def __init__(self):
+        self.units: Dict[str, UnitView] = {}
+        self.meta: dict = {}
+        self.jobs = 1
+        self.planned = 0
+        self.skipped = 0
+        self.begun_ts: Optional[float] = None
+        self.ended_ts: Optional[float] = None
+        self.end_status: Optional[str] = None
+        self.last_ts: Optional[float] = None
+        self.last_seq = 0
+        self.checkpoint_flushes = 0
+        self.checkpoint_failures = 0
+        self.chaos_injected = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.events_seen = 0
+
+    # -- folding ---------------------------------------------------------
+
+    def _unit(self, key: str) -> UnitView:
+        view = self.units.get(key)
+        if view is None:
+            view = self.units[key] = UnitView(key)
+        return view
+
+    def fold(self, event: dict) -> None:
+        type_ = event.get("type")
+        key = event.get("key")
+        attrs = event.get("attrs") or {}
+        ts = event.get("ts")
+        self.events_seen += 1
+        if isinstance(ts, (int, float)):
+            self.last_ts = float(ts)
+        seq = event.get("seq")
+        if isinstance(seq, int):
+            self.last_seq = max(self.last_seq, seq)
+
+        if type_ == "ledger_open":
+            self.meta = attrs.get("meta") or {}
+        elif type_ == "sweep_begin":
+            self.begun_ts = ts
+            self.jobs = int(attrs.get("jobs", 1) or 1)
+        elif type_ == "sweep_plan":
+            self.planned = int(attrs.get("units", 0))
+            self.skipped = int(attrs.get("skipped", 0))
+        elif type_ == "unit_scheduled" and key:
+            self._unit(key)
+        elif type_ == "unit_started" and key:
+            view = self._unit(key)
+            if view.state in ("scheduled", "running", "retrying"):
+                view.state = "running"
+                if view.started_ts is None:
+                    view.started_ts = ts
+            view.dispatches = max(view.dispatches,
+                                  int(attrs.get("dispatch", 1) or 1))
+        elif type_ == "unit_attempt" and key:
+            view = self._unit(key)
+            view.attempts = max(view.attempts,
+                                int(attrs.get("attempt", 1) or 1))
+        elif type_ == "unit_retry" and key:
+            view = self._unit(key)
+            view.attempts = max(view.attempts,
+                                int(attrs.get("attempt", 2) or 2))
+            if view.state in ("scheduled", "running"):
+                view.state = "retrying"
+        elif type_ == "unit_timeout" and key:
+            self._unit(key).note = "timeout"
+        elif type_ == "straggler_requeue" and key:
+            view = self._unit(key)
+            view.note = "straggler"
+        elif type_ == "unit_redispatch" and key:
+            view = self._unit(key)
+            view.note = "redispatched"
+        elif type_ == "unit_quarantined" and key:
+            view = self._unit(key)
+            view.state = "quarantined"
+            view.ended_ts = ts
+        elif type_ == "unit_memo":
+            self.memo_hits += int(attrs.get("hits", 0) or 0)
+            self.memo_misses += int(attrs.get("misses", 0) or 0)
+        elif type_ == "unit_completed" and key:
+            view = self._unit(key)
+            if view.state != "quarantined":
+                view.state = attrs.get("status", "ok")
+            view.ended_ts = ts
+            view.attempts = max(view.attempts,
+                                int(attrs.get("attempts", 1) or 0))
+            wall = attrs.get("unit_wall_s", attrs.get("wall_s"))
+            if isinstance(wall, (int, float)):
+                view.wall_s = float(wall)
+        elif type_ == "checkpoint_flush":
+            self.checkpoint_flushes += 1
+        elif type_ == "checkpoint_save_failed":
+            self.checkpoint_failures += 1
+        elif type_ == "chaos_injected":
+            self.chaos_injected += 1
+        elif type_ == "sweep_end":
+            self.ended_ts = ts
+            self.end_status = attrs.get("status", "ok")
+
+    def fold_all(self, events) -> None:
+        for event in events:
+            self.fold(event)
+
+    # -- derived aggregates ----------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for view in self.units.values():
+            totals[view.state] = totals.get(view.state, 0) + 1
+        return totals
+
+    def completed_walls(self) -> List[float]:
+        return [view.wall_s for view in self.units.values()
+                if view.state == "ok" and view.wall_s is not None]
+
+    def throughput(self, now: Optional[float] = None) -> Optional[float]:
+        """Finished units per second of sweep wall time so far."""
+        if self.begun_ts is None:
+            return None
+        done = sum(1 for v in self.units.values()
+                   if v.state in ("ok", "failed", "quarantined"))
+        end = self.ended_ts if self.ended_ts is not None else (
+            now if now is not None else self.last_ts)
+        if end is None or done == 0:
+            return None
+        elapsed = max(end - self.begun_ts, 1e-9)
+        return done / elapsed
+
+    def eta_s(self) -> Optional[tuple]:
+        """(estimate, uncertainty) seconds until the sweep finishes.
+
+        Robust per-unit estimate: remaining × median completed wall /
+        jobs, with a band of remaining × MAD / jobs. None until at
+        least one unit has completed (no basis) or once the sweep
+        ended (nothing remains).
+        """
+        if self.ended_ts is not None:
+            return None
+        walls = self.completed_walls()
+        if not walls:
+            return None
+        remaining = sum(1 for v in self.units.values()
+                        if v.state in ("scheduled", "running", "retrying"))
+        if remaining == 0:
+            return (0.0, 0.0)
+        med = median(walls)
+        mad = median([abs(w - med) for w in walls])
+        jobs = max(self.jobs, 1)
+        return (remaining * med / jobs, remaining * mad / jobs)
+
+    def straggler_limit_s(self) -> Optional[float]:
+        walls = self.completed_walls()
+        if not walls:
+            return None
+        return max(_STRAGGLER_K * median(walls), _STRAGGLER_FLOOR_S)
+
+    def is_straggling(self, view: UnitView,
+                      now: Optional[float] = None) -> bool:
+        if view.state not in ("running", "retrying"):
+            return False
+        if view.note == "straggler":
+            return True
+        limit = self.straggler_limit_s()
+        ref = now if now is not None else self.last_ts
+        if limit is None or view.started_ts is None or ref is None:
+            return False
+        return ref - view.started_ts > limit
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def render_dashboard(state: RunState, now: Optional[float] = None,
+                     max_rows: int = DEFAULT_MAX_ROWS,
+                     source: str = "") -> str:
+    """One screenful of dashboard text for the current state."""
+    now = now if now is not None else time.time()
+    counts = state.counts()
+    total = len(state.units)
+    done = (counts.get("ok", 0) + counts.get("failed", 0)
+            + counts.get("quarantined", 0))
+    lines: List[str] = []
+
+    title = "repro sweep"
+    experiments = state.meta.get("experiments")
+    if experiments:
+        title += " " + ",".join(experiments[:4]) + (
+            ",…" if len(experiments) > 4 else "")
+    if state.end_status:
+        status = f"ENDED ({state.end_status})"
+    elif state.begun_ts is None:
+        status = "WAITING"
+    else:
+        status = "RUNNING"
+    lines.append(f"{title}  [{status}]  jobs={state.jobs}"
+                 + (f"  {source}" if source else ""))
+
+    bar_w = 32
+    frac = done / total if total else 0.0
+    bar = "#" * int(round(frac * bar_w))
+    lines.append(f"[{bar:<{bar_w}}] {done}/{total} units "
+                 f"({counts.get('ok', 0)} ok, {counts.get('failed', 0)} "
+                 f"failed, {counts.get('quarantined', 0)} quarantined"
+                 + (f", {state.skipped} resumed" if state.skipped else "")
+                 + ")")
+
+    rate = state.throughput(now)
+    eta = state.eta_s()
+    elapsed = None
+    if state.begun_ts is not None:
+        end = state.ended_ts if state.ended_ts is not None else now
+        elapsed = end - state.begun_ts
+    bits = [f"elapsed {_fmt_duration(elapsed)}"]
+    bits.append(f"{rate:.2f} units/s" if rate is not None else "- units/s")
+    if eta is not None:
+        est, unc = eta
+        bits.append(f"ETA {_fmt_duration(est)} ± {_fmt_duration(unc)}")
+    elif state.end_status:
+        bits.append("done")
+    else:
+        bits.append("ETA -")
+    if state.memo_hits or state.memo_misses:
+        bits.append(f"memo {state.memo_hits}h/{state.memo_misses}m")
+    if state.chaos_injected:
+        bits.append(f"chaos×{state.chaos_injected}")
+    if state.checkpoint_failures:
+        bits.append(f"ckpt-fail×{state.checkpoint_failures}")
+    lines.append("  ".join(bits))
+    lines.append("")
+
+    views = sorted(state.units.values(),
+                   key=lambda v: (_STATE_ORDER.get(v.state, 9), v.key))
+    shown = views[:max_rows] if max_rows else views
+    key_w = max([len(v.key) for v in shown], default=4)
+    key_w = min(max(key_w, 4), 40)
+    lines.append(f"{'unit':<{key_w}}  {'state':<12} {'att':>3} "
+                 f"{'wall':>8}  note")
+    for view in shown:
+        wall = view.wall_s
+        if wall is None and view.started_ts is not None and \
+                view.state in ("running", "retrying"):
+            wall = now - view.started_ts
+        mark = "!" if state.is_straggling(view, now) else " "
+        note = view.note
+        if mark == "!" and "straggler" not in note:
+            note = (note + " straggling").strip()
+        lines.append(
+            f"{view.key[:key_w]:<{key_w}}  {view.state:<12} "
+            f"{view.attempts or '-':>3} {_fmt_duration(wall):>8} {mark}"
+            f"{note}")
+    if len(views) > len(shown):
+        lines.append(f"… {len(views) - len(shown)} more units "
+                     f"(--max-rows to widen)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The watch loop
+# ---------------------------------------------------------------------------
+
+def watch(path: str, once: bool = False,
+          interval_s: float = DEFAULT_INTERVAL_S,
+          max_rows: int = DEFAULT_MAX_ROWS,
+          write: Callable[[str], None] = None,
+          sleep: Callable[[float], None] = time.sleep,
+          clock: Callable[[], float] = time.time,
+          max_polls: Optional[int] = None) -> int:
+    """Tail a ledger and redraw the dashboard until the sweep ends.
+
+    Returns a CLI exit code: 0 after a clean ``sweep_end`` (or a
+    ``--once`` snapshot of a usable ledger), 2 when ``--once`` finds
+    no ledger to read. Live mode waits for the ledger to appear, so a
+    watcher may be started *before* the sweep. ``write``/``sleep``/
+    ``clock``/``max_polls`` are test injection points.
+    """
+    import sys
+    write = write or (lambda text: print(text, file=sys.stdout, flush=True))
+    follower = LedgerFollower(path)
+    state = RunState()
+    polls = 0
+    try:
+        while True:
+            polls += 1
+            state.fold_all(follower.poll())
+            if once:
+                if not ledger_segments(path):
+                    write(f"obs watch: no ledger at {path}")
+                    return 2
+                write(render_dashboard(state, now=clock(),
+                                       max_rows=max_rows, source=path))
+                return 0
+            screen = render_dashboard(state, now=clock(),
+                                      max_rows=max_rows, source=path)
+            # ANSI home+clear keeps the dashboard in place on a real
+            # terminal; piped output just sees successive frames.
+            write("\x1b[H\x1b[2J" + screen if sys.stdout.isatty()
+                  else screen)
+            if state.end_status is not None:
+                return 0
+            if max_polls is not None and polls >= max_polls:
+                return 0
+            try:
+                sleep(interval_s)
+            except KeyboardInterrupt:
+                return 0
+    except BrokenPipeError:
+        # The reader went away (`watch ... | head`): a clean exit,
+        # not a stack trace.
+        return 0

@@ -97,6 +97,15 @@ class Checkpoint:
     at the top of every durable save; the harness-fault injector uses
     it to simulate torn writes, ``ENOSPC``, ``EACCES``, and stale temp
     debris (:func:`repro.chaos.inject.checkpoint_chaos_hook`).
+
+    ``observer``, when set, is called with ``(kind, info)`` after
+    durability-relevant transitions — ``("flush", {...})`` from
+    :meth:`flush` and ``("save_failed", {...})`` from the soft-save
+    path — so the sweep runner can stream checkpoint health into the
+    run ledger. Observer exceptions are never swallowed *into* the
+    save path's error handling: the hook is invoked outside the
+    ``try`` blocks and must not raise (ledger emission is in-memory
+    bookkeeping plus a soft-failure sink).
     """
 
     def __init__(self, path: Optional[str] = None,
@@ -107,6 +116,7 @@ class Checkpoint:
         self.dirty = False
         self.save_failures = 0
         self.chaos_hook: Optional[Callable[["Checkpoint", str], None]] = None
+        self.observer: Optional[Callable[[str, dict], None]] = None
         self._warned_soft_failure = False
         if path is not None and os.path.isdir(
                 os.path.dirname(os.path.abspath(path))):
@@ -241,6 +251,10 @@ class Checkpoint:
                     f"checkpoint save to {self.path!r} failed ({exc}); "
                     f"records are kept in memory and the save will be "
                     f"retried", RuntimeWarning, stacklevel=2)
+            if self.observer is not None:
+                self.observer("save_failed",
+                              {"error": f"{type(exc).__name__}: {exc}",
+                               "failures": self.save_failures})
             return False
         return True
 
@@ -251,12 +265,18 @@ class Checkpoint:
         reasons, and a pathless (in-memory) checkpoint is a no-op.
         """
         if self.path is None:
+            if self.observer is not None:
+                self.observer("flush", {"records": len(self.records),
+                                        "clean": True})
             return True
         clean = True
         if self.dirty:
             clean = self.save_soft()
         if clean:
             _clean_stale_tmps(self.path)
+        if self.observer is not None:
+            self.observer("flush", {"records": len(self.records),
+                                    "clean": clean})
         return clean
 
     def __len__(self) -> int:

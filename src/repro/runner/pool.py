@@ -36,7 +36,6 @@ import hashlib
 import os
 import random
 import signal
-import sys
 import threading
 import time
 import traceback
@@ -243,6 +242,7 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
     instead of corrupting the next one's.
     """
     from ..experiments.registry import EXPERIMENTS
+    from ..sim import cache_sizes
     driver = EXPERIMENTS[exp_id]
 
     def _call_driver():
@@ -253,6 +253,8 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
     start = time.monotonic()
     error = None
     unit_wall = 0.0
+    timeouts = 0
+    memo_hits = memo_misses = 0
     for attempt in range(1, max_attempts + 1):
         if attempt > 1:
             delay = backoff_s * 2 ** (attempt - 2)
@@ -260,6 +262,7 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
                 on_backoff(delay)
             sleep(delay)
         seed_unit_rngs(key)
+        memo0 = cache_sizes()
         tracer = Tracer("unit", key=key, attempt=attempt)
         registry = MetricsRegistry() if observe else None
 
@@ -284,6 +287,13 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
                 with soft_time_limit(timeout_s):
                     result = _invoke()
             tracer.finish()
+            memo1 = cache_sizes()
+            # Replay-memo activity of the *returning* attempt, in this
+            # process — worker-warmth-dependent, so the fields are
+            # volatile (chaos digests and goldens strip them) and the
+            # metrics family is in VOLATILE_METRIC_FAMILIES.
+            memo_hits = memo1["trace_hits"] - memo0["trace_hits"]
+            memo_misses = memo1["trace_misses"] - memo0["trace_misses"]
             record = {
                 "status": "ok",
                 "attempts": attempt,
@@ -291,8 +301,18 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
                 "unit_wall_s": round(tracer.root.wall_s, 3),
                 "payload": result.to_dict(),
                 "error": None,
+                "pid": os.getpid(),
+                "timeouts": timeouts,
+                "memo_hits": memo_hits,
+                "memo_misses": memo_misses,
             }
             if observe:
+                for outcome, lookups in (("hit", memo_hits),
+                                         ("miss", memo_misses)):
+                    registry.counter(
+                        "replay_memo_lookups_total", {"result": outcome},
+                        help_text="replay-memo lookups in the process "
+                                  "that ran the unit").inc(lookups)
                 # Memory rides the same deterministic merge as every
                 # other metric: the gauge max-merges across units, so
                 # the sweep-level value is the hungriest process's
@@ -312,6 +332,8 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
             unit_wall = tracer.finish().wall_s
             failed_span = tracer.root.to_dict()
             error = error_report(exc)
+            if isinstance(exc, UnitTimeout):
+                timeouts += 1
     record = {
         "status": "failed",
         "attempts": max_attempts,
@@ -319,6 +341,10 @@ def run_unit_attempts(exp_id: str, app, key: str, *,
         "unit_wall_s": round(unit_wall, 3),
         "payload": None,
         "error": error,
+        "pid": os.getpid(),
+        "timeouts": timeouts,
+        "memo_hits": memo_hits,
+        "memo_misses": memo_misses,
     }
     if observe:
         # The last attempt's span tree still ships — a failed unit is
@@ -335,10 +361,11 @@ def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
     from the registry by id and the per-attempt timeout uses the
     portable wall-clock guard (SIGALRM stays untouched in workers).
 
-    A one-line progress note goes to the worker's stderr (inherited
-    from the parent terminal) with the span-sourced driver duration,
-    so a watcher sees per-unit timings as they land, not only the
-    parent's completion-order summary.
+    Workers write nothing to stderr — with several of them finishing
+    at once, raw prints interleave into garbage. Progress facts
+    (span-sourced duration, pid, memo activity) ride home inside the
+    record; the parent turns them into ordered run-ledger events and
+    its own stderr progress lines.
 
     When the task carries a :class:`~repro.chaos.plan.ChaosPlan`, its
     scheduled worker fault is applied here: SIGKILL/``os._exit`` never
@@ -364,9 +391,6 @@ def execute_unit_task(task: UnitTask) -> Tuple[str, dict]:
     if chaos_event is not None and chaos_event.kind == "corrupt":
         from ..chaos.inject import corrupt_record
         record = corrupt_record(record)
-    duration = record.get("unit_wall_s", record["wall_s"])
-    print(f"[worker {os.getpid()}] {record['status']} {task.key} "
-          f"in {duration:.3f}s", file=sys.stderr, flush=True)
     return task.key, record
 
 
@@ -478,8 +502,9 @@ def run_units_parallel(tasks: Sequence[UnitTask], jobs: int,
     sweep stopped.
 
     ``on_event(kind, key)`` observes supervision actions —
-    ``redispatch`` / ``straggler`` / ``quarantine`` — for stats and
-    metrics.
+    ``start`` (every worker hand-out, including re-dispatches) /
+    ``redispatch`` / ``straggler`` / ``quarantine`` — for stats,
+    metrics, and the run ledger.
     """
     if not tasks:
         return
@@ -502,6 +527,7 @@ def run_units_parallel(tasks: Sequence[UnitTask], jobs: int,
         future = pool.submit(execute_unit_task, shipped)
         in_flight[future] = task
         submitted_at[future] = time.monotonic()
+        notify("start", task.key)
 
     def _retire_or_quarantine(task: UnitTask, reason: str) -> None:
         """Bounded retry for a unit whose dispatch went wrong."""

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.base import ExperimentResult
 from ..experiments.registry import EXPERIMENTS, accepts_apps
+from ..obs.ledger import RunLedger
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer, trace_span
 from .checkpoint import Checkpoint, unit_key
@@ -116,6 +117,16 @@ class SweepRunner:
         Supervision knobs for the pool backend: total worker hand-outs
         per unit before quarantine, and the straggler threshold
         (``k × median completed unit time``, floored).
+    ledger_path / max_sink_bytes:
+        Live telemetry. ``ledger_path`` streams typed, monotonically
+        sequenced lifecycle events to an append-only JSONL ledger as
+        they happen (``repro obs watch`` tails it); without a path the
+        events are still retained on ``self.ledger.events``. All
+        emission happens in the parent — workers ship their facts home
+        inside unit records — so serial and parallel sweeps produce
+        identical event sets after order-normalization.
+        ``max_sink_bytes`` size-caps the ledger *and* trace sinks with
+        ``.1``/``.2`` suffix rotation (None = unbounded).
     """
 
     def __init__(self,
@@ -135,7 +146,9 @@ class SweepRunner:
                  chaos=None,
                  max_dispatches: int = DEFAULT_MAX_DISPATCHES,
                  straggler_k: float = DEFAULT_STRAGGLER_K,
-                 straggler_floor_s: float = DEFAULT_STRAGGLER_FLOOR_S):
+                 straggler_floor_s: float = DEFAULT_STRAGGLER_FLOOR_S,
+                 ledger_path: Optional[str] = None,
+                 max_sink_bytes: Optional[int] = None):
         self.experiments = list(experiments or EXPERIMENTS)
         unknown = [e for e in self.experiments if e not in EXPERIMENTS]
         if unknown:
@@ -173,9 +186,27 @@ class SweepRunner:
                 meta={"experiments": self.experiments,
                       "apps": [app.name for app in self.apps]})
             self.checkpoint.save()
+        self.max_sink_bytes = max_sink_bytes
+        # The ledger always exists — pathless means in-memory only —
+        # so tests and downstream consumers can read self.ledger.events
+        # from any run. All emission is parent-side: workers return
+        # their facts (pid, memo deltas, durations) inside records and
+        # the parent synthesizes the attempt-level events, which is
+        # what makes serial and parallel event sets identical after
+        # order-normalization.
+        self.ledger = RunLedger(
+            path=ledger_path, max_bytes=max_sink_bytes,
+            meta={"experiments": self.experiments,
+                  "apps": [app.name for app in self.apps],
+                  "jobs": self.jobs,
+                  "checkpoint": self.checkpoint.path})
+        self.checkpoint.observer = self._on_checkpoint_event
         if chaos is not None:
             from ..chaos.inject import checkpoint_chaos_hook
-            self.checkpoint.chaos_hook = checkpoint_chaos_hook(chaos)
+            self.checkpoint.chaos_hook = checkpoint_chaos_hook(
+                chaos, emit=lambda kind, save: self._emit(
+                    "chaos_injected", site="checkpoint", kind=kind,
+                    save=save))
         self.stats = SweepStats()
         self.results: List[ExperimentResult] = []
 
@@ -257,67 +288,139 @@ class SweepRunner:
         """
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
-        with trace_span("sweep_plan"):
-            todo = self.pending()
-        with trace_span("sweep_execute", units=len(todo), jobs=self.jobs), \
-                self._graceful_signals():
-            try:
-                if self.jobs > 1 and len(todo) > 1:
-                    tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
-                                      max_attempts=self.max_attempts,
-                                      backoff_s=self.backoff_s,
-                                      timeout_s=self.timeout_s,
-                                      observe=self.observe,
-                                      chaos=self.chaos)
-                             for exp_id, app, key in todo]
-                    run_units_parallel(
-                        tasks, self.jobs, self._record,
-                        max_dispatches=self.max_dispatches,
-                        straggler_k=self.straggler_k,
-                        straggler_floor_s=self.straggler_floor_s,
-                        on_event=self._on_pool_event)
-                else:
-                    for exp_id, app, key in todo:
-                        self._record(key, self._run_unit(exp_id, app, key))
-            finally:
-                # Completed-but-unflushed units must survive any exit
-                # path (KeyboardInterrupt, SIGTERM drain, a crashed
-                # save earlier in the run).
-                self.checkpoint.flush()
-        if self.chaos is not None:
-            event = self.chaos.merge_event()
-            if event is not None:
-                from ..chaos.inject import send_self_signal
-                with self._graceful_signals():
-                    send_self_signal(event.kind)
-                    time.sleep(0)  # deliver while the handler is armed
-        with trace_span("sweep_merge"):
-            results = [self._merge(exp_id) for exp_id in self.experiments]
-        if self.observe:
-            with trace_span("sweep_obs"):
-                self._assemble_obs()
-                self._write_sinks()
+        try:
+            self._emit("sweep_begin", jobs=self.jobs)
+            with trace_span("sweep_plan"):
+                todo = self.pending()
+            self._emit("sweep_plan", units=len(todo),
+                       skipped=self.stats.skipped)
+            for _exp_id, _app, key in todo:
+                self._emit("unit_scheduled", key)
+            with trace_span("sweep_execute", units=len(todo),
+                            jobs=self.jobs), \
+                    self._graceful_signals():
+                try:
+                    if self.jobs > 1 and len(todo) > 1:
+                        tasks = [UnitTask(exp_id=exp_id, app=app, key=key,
+                                          max_attempts=self.max_attempts,
+                                          backoff_s=self.backoff_s,
+                                          timeout_s=self.timeout_s,
+                                          observe=self.observe,
+                                          chaos=self.chaos)
+                                 for exp_id, app, key in todo]
+                        run_units_parallel(
+                            tasks, self.jobs, self._record,
+                            max_dispatches=self.max_dispatches,
+                            straggler_k=self.straggler_k,
+                            straggler_floor_s=self.straggler_floor_s,
+                            on_event=self._on_pool_event)
+                    else:
+                        for exp_id, app, key in todo:
+                            self._emit("unit_started", key)
+                            self._record(key,
+                                         self._run_unit(exp_id, app, key))
+                finally:
+                    # Completed-but-unflushed units must survive any
+                    # exit path (KeyboardInterrupt, SIGTERM drain, a
+                    # crashed save earlier in the run).
+                    self.checkpoint.flush()
+            if self.chaos is not None:
+                event = self.chaos.merge_event()
+                if event is not None:
+                    from ..chaos.inject import send_self_signal
+                    self._emit("chaos_injected", site="merge",
+                               kind=event.kind)
+                    with self._graceful_signals():
+                        send_self_signal(event.kind)
+                        time.sleep(0)  # deliver while the handler is armed
+            with trace_span("sweep_merge"):
+                self._emit("sweep_merge")
+                results = [self._merge(exp_id)
+                           for exp_id in self.experiments]
+            if self.observe:
+                with trace_span("sweep_obs"):
+                    self._assemble_obs()
+                    self._write_sinks()
+        except BaseException:
+            # The drain path still gets a terminal event, so a watcher
+            # (and the future SSE stream) sees the sweep end rather
+            # than a silent stall; --resume starts a fresh ledger.
+            self._emit("sweep_end", status="interrupted",
+                       run=self.stats.run, failed=self.stats.failed)
+            self.ledger.close()
+            raise
         # Retained so downstream consumers (the fidelity scorecard
         # assembles claims over several runners' outputs) can read the
         # merged results without re-deriving them from the checkpoint.
         self.results = results
+        self._emit("sweep_end", status="ok", run=self.stats.run,
+                   failed=self.stats.failed)
+        self.ledger.close()
         return results
+
+    # -- run ledger -------------------------------------------------------
+
+    def _emit(self, type_: str, key: Optional[str] = None,
+              **attrs) -> None:
+        """Append one lifecycle event to the run ledger."""
+        self.ledger.emit(type_, key, **attrs)
+
+    def _on_checkpoint_event(self, kind: str, info: dict) -> None:
+        """Checkpoint durability transitions, folded into the ledger."""
+        if kind == "flush":
+            self._emit("checkpoint_flush", **info)
+        elif kind == "save_failed":
+            self._emit("checkpoint_save_failed", **info)
 
     def _on_pool_event(self, kind: str, key: str) -> None:
         """Supervision actions from the pool, folded into stats."""
+        if kind == "start":
+            self._emit("unit_started", key)
+            return
         if kind == "redispatch":
             self.stats.redispatched += 1
+            self._emit("unit_redispatch", key)
         elif kind == "straggler":
             self.stats.stragglers += 1
+            self._emit("straggler_requeue", key)
         elif kind == "quarantine":
             self.stats.quarantined += 1
+            self._emit("unit_quarantined", key)
 
     def _record(self, key: str, record: dict) -> None:
-        """Account for one finished unit and persist it."""
+        """Account for one finished unit and persist it.
+
+        The attempt-level ledger events (``unit_attempt`` /
+        ``unit_retry`` / ``unit_timeout`` / ``unit_memo``) are
+        synthesized *here*, from the returned record, for the serial
+        and parallel paths alike — a worker process cannot reach the
+        parent's sequence counter, and parent-side synthesis is what
+        keeps the two paths' event sets identical.
+        """
         self.stats.run += 1
         self.stats.retried += max(0, record.get("attempts", 1) - 1)
         if record["status"] == "failed":
             self.stats.failed += 1
+        if not record.get("quarantined"):
+            for attempt in range(1, max(1, record.get("attempts", 1)) + 1):
+                if attempt > 1:
+                    self._emit("unit_retry", key, attempt=attempt)
+                self._emit("unit_attempt", key, attempt=attempt)
+        if record.get("timeouts"):
+            self._emit("unit_timeout", key,
+                       count=int(record["timeouts"]))
+        if "memo_hits" in record:
+            self._emit("unit_memo", key,
+                       hits=int(record.get("memo_hits") or 0),
+                       misses=int(record.get("memo_misses") or 0),
+                       pid=record.get("pid"))
+        completed = {"status": record["status"],
+                     "attempts": record.get("attempts", 0),
+                     "wall_s": record.get("wall_s"),
+                     "unit_wall_s": record.get("unit_wall_s")}
+        if record.get("quarantined"):
+            completed["quarantined"] = True
+        self._emit("unit_completed", key, **completed)
         self.checkpoint.record(key, record)
         if self.on_unit_done is not None:
             self.on_unit_done(key, record)
@@ -325,6 +428,8 @@ class SweepRunner:
             event = self.chaos.sweep_event(key)
             if event is not None:
                 from ..chaos.inject import send_self_signal
+                self._emit("chaos_injected", key, site="sweep",
+                           kind=event.kind)
                 send_self_signal(event.kind)
 
     def _run_unit(self, exp_id: str, app, key: str) -> dict:
@@ -436,7 +541,8 @@ class SweepRunner:
     def _write_sinks(self) -> None:
         from ..obs.report import write_metrics, write_trace_jsonl
         if self.trace_path and self.tracer is not None:
-            write_trace_jsonl(self.tracer, self.trace_path)
+            write_trace_jsonl(self.tracer, self.trace_path,
+                              max_bytes=self.max_sink_bytes)
         if self.metrics_path and self.metrics is not None:
             write_metrics(self.metrics, self.metrics_path)
 

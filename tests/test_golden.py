@@ -28,6 +28,7 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 SMOKE_FIXTURE = GOLDEN_DIR / "smoke_sweep.json"
 METRICS_FIXTURE = GOLDEN_DIR / "smoke_metrics.json"
 FAULT_FIXTURE = GOLDEN_DIR / "fault_replay.json"
+LEDGER_FIXTURE = GOLDEN_DIR / "smoke_ledger.json"
 
 #: A representative but cheap sweep: two per-app experiments (one
 #: replay-heavy, one mask-profiling) and one whole-experiment driver.
@@ -40,7 +41,8 @@ def _get_apps():
     return [get_app(name) for name in SMOKE_APPS]
 
 
-#: (results_json, metrics_json, trace_root_dict) per jobs count.
+#: (results_json, metrics_json, trace_root_dict, ledger_json) per
+#: jobs count.
 #: Determinism makes re-running a given jobs count pointless, and
 #: parallel sweeps pay a worker warm-up every time — so each count
 #: runs once per session.
@@ -59,6 +61,7 @@ def _deterministic_metrics(registry) -> str:
 
 def _smoke_sweep(jobs):
     if jobs not in _SWEEP_CACHE:
+        from repro.obs.ledger import normalize_events
         runner = SweepRunner(experiments=SMOKE_EXPERIMENTS,
                              apps=_get_apps(), jobs=jobs, observe=True)
         results = runner.run()
@@ -67,6 +70,7 @@ def _smoke_sweep(jobs):
             canonical_json([r.to_dict() for r in results]),
             _deterministic_metrics(runner.metrics),
             runner.tracer.root.to_dict(),
+            canonical_json(normalize_events(runner.ledger.events)),
         )
     return _SWEEP_CACHE[jobs]
 
@@ -148,6 +152,38 @@ class TestGoldenSmokeMetrics:
             pytest.skip("fixture regeneration runs serially")
         assert _smoke_sweep(jobs=jobs)[1] == \
             METRICS_FIXTURE.read_text(encoding="utf-8")
+
+
+class TestGoldenLedgerIdentity:
+    """The run ledger's normalized event set, pinned to a fixture at
+    every worker count.
+
+    Ledger events are sequenced live — completion order *does* move
+    the raw stream — so the contract is on ``normalize_events``: sort
+    by unit key, drop sequence/timestamps and the volatile attrs
+    (wall times, pids, jobs, memo warmth), and serial and parallel
+    runs of the same sweep must describe identical lifecycles.
+    """
+
+    def test_serial_normalized_ledger_matches_fixture(self,
+                                                      update_golden):
+        text = _smoke_sweep(jobs=1)[3]
+        if update_golden:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            LEDGER_FIXTURE.write_text(text, encoding="utf-8")
+            pytest.skip("ledger fixture regenerated; commit the diff")
+        assert LEDGER_FIXTURE.exists(), (
+            "missing ledger fixture — generate it with "
+            "`python -m pytest tests/test_golden.py --update-golden`")
+        assert text == LEDGER_FIXTURE.read_text(encoding="utf-8")
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_normalized_ledger_matches_fixture(self, jobs,
+                                                        update_golden):
+        if update_golden:
+            pytest.skip("fixture regeneration runs serially")
+        assert _smoke_sweep(jobs=jobs)[3] == \
+            LEDGER_FIXTURE.read_text(encoding="utf-8")
 
 
 def _faulted_replay_json() -> str:

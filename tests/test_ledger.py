@@ -1,0 +1,590 @@
+"""Tests for the live run ledger, its tailer, and the obs CLI on top.
+
+Covers the crash-safety contracts the ledger promises: torn tails are
+"not yet an event" for every reader, rotation never double-delivers
+(and gaps are *counted*, not swallowed), a follower can resume from a
+sequence number, SIGKILLed chaos sweeps still produce a valid ledger,
+and ``obs watch --once`` / ``obs diff`` work against a ledger mid-
+write without blocking or corrupting it. The serial-vs-``--jobs``
+normalized event-set identity is pinned against a committed fixture
+in ``test_golden.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.ledger import (EVENT_TYPES, LEDGER_SCHEMA_VERSION,
+                              LedgerFollower, RotatingJsonlSink,
+                              RunLedger, ledger_segments,
+                              normalize_events, parse_ledger_text,
+                              read_jsonl_segments, read_ledger,
+                              status_totals, validate_ledger)
+
+SMOKE_EXPERIMENTS = ["fig09"]
+SMOKE_APPS = ("ATA", "VEC")
+
+
+def _smoke_runner(ledger_path=None, **kwargs):
+    from repro.kernels import get_app
+    from repro.runner import SweepRunner
+    return SweepRunner(experiments=SMOKE_EXPERIMENTS,
+                       apps=[get_app(name) for name in SMOKE_APPS],
+                       ledger_path=ledger_path, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# RotatingJsonlSink
+# ---------------------------------------------------------------------------
+
+class TestRotatingJsonlSink:
+    def test_rotates_and_reassembles_oldest_first(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        sink = RotatingJsonlSink(path, max_bytes=24)
+        for i in range(6):
+            assert sink.write_line(f'{{"i": {i}}}')
+        sink.close()
+        segments = ledger_segments(path)
+        assert len(segments) > 1
+        assert segments[-1] == path          # active file reads last
+        text = read_jsonl_segments(path)
+        assert [json.loads(line)["i"] for line in text.splitlines()] \
+            == list(range(6))
+
+    def test_max_segments_drops_oldest_by_overwrite(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        sink = RotatingJsonlSink(path, max_bytes=12, max_segments=2)
+        for i in range(10):
+            sink.write_line(f'{{"i": {i}}}')
+        sink.close()
+        assert not os.path.exists(f"{path}.3")
+        kept = [json.loads(line)["i"]
+                for line in read_jsonl_segments(path).splitlines()]
+        assert kept == sorted(kept)          # still oldest-first
+        assert kept[-1] == 9                 # newest survives
+        assert 0 not in kept                 # oldest rolled off
+
+    def test_fresh_open_removes_stale_segments(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        (tmp_path / "s.jsonl.1").write_text('{"stale": 1}\n')
+        sink = RotatingJsonlSink(path, max_bytes=1000)
+        sink.write_line('{"i": 0}')
+        sink.close()
+        assert not os.path.exists(f"{path}.1")
+        assert "stale" not in read_jsonl_segments(path)
+
+    def test_unwritable_path_degrades_to_warning(self, tmp_path):
+        path = str(tmp_path / "nodir" / "s.jsonl")
+        with pytest.warns(RuntimeWarning, match="unwritable"):
+            sink = RotatingJsonlSink(path)
+        assert sink.ok is False
+        assert sink.write_line('{"i": 0}') is False  # dropped, no raise
+
+    def test_bad_caps_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(str(tmp_path / "s.jsonl"), max_bytes=0)
+        with pytest.raises(ValueError):
+            RotatingJsonlSink(str(tmp_path / "s.jsonl"), max_segments=0)
+
+
+# ---------------------------------------------------------------------------
+# RunLedger
+# ---------------------------------------------------------------------------
+
+class TestRunLedger:
+    def test_opens_with_schema_header_and_counts_seq(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path, meta={"experiments": ["fig09"]})
+        ledger.emit("sweep_begin", jobs=1)
+        ledger.emit("unit_started", "fig09::VEC")
+        ledger.close()
+        events = read_ledger(path)
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert events[0]["type"] == "ledger_open"
+        assert events[0]["attrs"]["schema_version"] == LEDGER_SCHEMA_VERSION
+        assert events[0]["attrs"]["meta"]["experiments"] == ["fig09"]
+        assert events[2]["key"] == "fig09::VEC"
+        assert validate_ledger(events) == []
+
+    def test_pathless_ledger_is_in_memory_only(self, tmp_path):
+        ledger = RunLedger()
+        ledger.emit("sweep_begin", jobs=1)
+        assert ledger.ok
+        assert [e["type"] for e in ledger.events] \
+            == ["ledger_open", "sweep_begin"]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_reserved_attr_names_rejected(self):
+        ledger = RunLedger()
+        with pytest.raises(ValueError, match="reserved"):
+            ledger.emit("sweep_begin", seq=99)
+
+    def test_every_event_type_in_vocabulary_is_unique(self):
+        assert len(EVENT_TYPES) == len(set(EVENT_TYPES))
+        assert EVENT_TYPES[0] == "ledger_open"
+
+
+# ---------------------------------------------------------------------------
+# Torn tails and parsing
+# ---------------------------------------------------------------------------
+
+class TestTornTails:
+    def test_parse_skips_torn_and_garbled_lines(self):
+        text = ('{"seq": 1, "type": "ledger_open", "attrs": {}}\n'
+                "not json at all\n"
+                '{"seq": 2, "type": "sweep_begin"'  # torn: no close/newline
+                )
+        events = parse_ledger_text(text)
+        assert [e["seq"] for e in events] == [1]
+
+    def test_read_ledger_tolerates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path)
+        ledger.emit("sweep_begin", jobs=2)
+        ledger.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 3, "type": "sweep_')  # writer died mid-line
+        events = read_ledger(path)
+        assert [e["seq"] for e in events] == [1, 2]
+        assert validate_ledger(events) == []
+
+
+# ---------------------------------------------------------------------------
+# LedgerFollower: tailing, resume, rotation
+# ---------------------------------------------------------------------------
+
+class TestLedgerFollower:
+    def test_poll_returns_only_new_events(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path)
+        follower = LedgerFollower(path)
+        assert [e["seq"] for e in follower.poll()] == [1]
+        assert follower.poll() == []
+        ledger.emit("sweep_begin", jobs=1)
+        ledger.emit("sweep_plan", units=2, skipped=0)
+        assert [e["seq"] for e in follower.poll()] == [2, 3]
+        ledger.close()
+        assert follower.missed == 0
+
+    def test_torn_tail_left_for_next_poll(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path)
+        follower = LedgerFollower(path)
+        follower.poll()
+        # A writer mid-write: half an event, no newline yet.
+        line = json.dumps({"seq": 2, "ts": 0.0, "type": "sweep_begin",
+                           "key": None, "attrs": {}})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(line[:10])
+            fh.flush()
+            assert follower.poll() == []     # not yet an event
+            fh.write(line[10:] + "\n")
+        polled = follower.poll()             # completed line arrives whole
+        assert [e["seq"] for e in polled] == [2]
+        assert follower.missed == 0
+        ledger.close()
+
+    def test_resume_from_sequence_number(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path)
+        ledger.emit("sweep_begin", jobs=1)
+        ledger.emit("sweep_plan", units=1, skipped=0)
+        ledger.close()
+        resumed = LedgerFollower(path, last_seq=2)  # SSE Last-Event-ID
+        assert [e["seq"] for e in resumed.poll()] == [3]
+        assert resumed.missed == 0
+
+    def test_follows_across_rotation_exactly_once(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path, max_bytes=160)
+        follower = LedgerFollower(path)
+        seen = [e["seq"] for e in follower.poll()]
+        for i in range(12):                  # forces several rollovers
+            ledger.emit("unit_started", f"fig09::u{i}")
+            seen += [e["seq"] for e in follower.poll()]
+        ledger.close()
+        assert len(ledger_segments(path)) > 1
+        assert seen == list(range(1, 14))    # every event, exactly once
+        assert follower.missed == 0
+
+    def test_dropped_segment_counts_missed_not_silent(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        lines = [json.dumps({"seq": s, "ts": 0.0, "type": "unit_started",
+                             "key": "k", "attrs": {}})
+                 for s in (1, 2, 5, 6)]      # 3-4 rotated off the disk
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        follower = LedgerFollower(path)
+        assert [e["seq"] for e in follower.poll()] == [1, 2, 5, 6]
+        assert follower.missed == 2
+
+    def test_poll_before_ledger_exists_waits(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        follower = LedgerFollower(path)      # watcher starts first
+        assert follower.poll() == []
+        ledger = RunLedger(path=path)
+        ledger.close()
+        assert [e["seq"] for e in follower.poll()] == [1]
+
+
+# ---------------------------------------------------------------------------
+# Normalization and validation
+# ---------------------------------------------------------------------------
+
+class TestNormalizeValidate:
+    def test_normalize_strips_volatile_attrs_and_seq(self):
+        events = [
+            {"seq": 1, "ts": 9.0, "type": "ledger_open", "key": None,
+             "attrs": {"schema_version": 1,
+                       "meta": {"jobs": 4, "experiments": ["fig09"]}}},
+            {"seq": 2, "ts": 9.1, "type": "unit_memo", "key": "b",
+             "attrs": {"hits": 3, "misses": 1, "pid": 77}},
+            {"seq": 3, "ts": 9.2, "type": "unit_completed", "key": "a",
+             "attrs": {"status": "ok", "wall_s": 0.5, "attempts": 1}},
+        ]
+        normalized = normalize_events(events)
+        # sweep-level first (empty key), then units a, b
+        assert [e["key"] for e in normalized] == [None, "a", "b"]
+        assert normalized[0]["attrs"]["meta"] == {"experiments": ["fig09"]}
+        assert normalized[1]["attrs"] == {"status": "ok", "attempts": 1}
+        assert normalized[2]["attrs"] == {}
+        for event in normalized:
+            assert "seq" not in event and "ts" not in event
+
+    def test_validate_flags_schema_problems(self):
+        bad = [
+            {"seq": 1, "ts": 0.0, "type": "sweep_begin", "attrs": {}},
+            {"seq": 3, "ts": 0.1, "type": "not_a_type", "attrs": {}},
+            {"seq": 3, "ts": 0.2, "type": "sweep_end", "attrs": []},
+        ]
+        problems = "\n".join(validate_ledger(bad))
+        assert "expected 'ledger_open'" in problems
+        assert "seq gap" in problems
+        assert "unknown type 'not_a_type'" in problems
+        assert "not strictly increasing" in problems
+        assert "attrs is list" in problems
+        assert validate_ledger([]) == ["ledger has no events"]
+
+    def test_validate_allow_gaps_for_rotation_capped_ledgers(self):
+        events = [
+            {"seq": 1, "ts": 0.0, "type": "ledger_open",
+             "attrs": {"schema_version": LEDGER_SCHEMA_VERSION}},
+            {"seq": 5, "ts": 0.1, "type": "sweep_end", "attrs": {}},
+        ]
+        assert validate_ledger(events, allow_gaps=True) == []
+        assert validate_ledger(events) != []
+
+    def test_status_totals_keeps_final_status_only(self):
+        events = [
+            {"type": "unit_completed", "key": "a",
+             "attrs": {"status": "failed"}},
+            {"type": "unit_completed", "key": "a",
+             "attrs": {"status": "ok"}},
+            {"type": "unit_completed", "key": "b",
+             "attrs": {"status": "ok"}},
+        ]
+        assert status_totals(events) == {"ok": 2}
+
+
+# ---------------------------------------------------------------------------
+# Sweeps write ledgers: live tailing, chaos, SIGKILLed workers
+# ---------------------------------------------------------------------------
+
+class TestSweepLedger:
+    def test_serial_sweep_emits_valid_lifecycle(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        runner = _smoke_runner(ledger_path=path)
+        runner.run()
+        events = read_ledger(path)
+        assert validate_ledger(events) == []
+        types = [e["type"] for e in events]
+        assert types[0] == "ledger_open"
+        assert types[-1] == "sweep_end"
+        assert types.count("unit_completed") == 2
+        assert status_totals(events) == {"ok": 2}
+        for key in ("fig09::ATA", "fig09::VEC"):
+            unit_types = [e["type"] for e in events if e["key"] == key]
+            assert unit_types[:3] == ["unit_scheduled", "unit_started",
+                                      "unit_attempt"]
+            assert unit_types[-1] == "unit_completed"
+            assert "unit_memo" in unit_types
+
+    def test_follower_tails_a_live_sweep(self, tmp_path):
+        """Polling mid-sweep (from the parent's unit callback) sees the
+        stream grow and never disturbs the writer."""
+        path = str(tmp_path / "run.jsonl")
+        follower = LedgerFollower(path)
+        mid_polls = []
+
+        def on_unit_done(key, record):
+            mid_polls.append(len(follower.poll()))
+
+        runner = _smoke_runner(ledger_path=path,
+                               on_unit_done=on_unit_done)
+        runner.run()
+        assert len(mid_polls) == 2 and any(n > 0 for n in mid_polls)
+        tail = follower.poll()               # drain the post-run events
+        assert tail and tail[-1]["type"] == "sweep_end"
+        assert follower.missed == 0
+        events = read_ledger(path)
+        assert validate_ledger(events) == []
+        assert follower.last_seq == events[-1]["seq"]
+
+    def test_sigkilled_workers_still_yield_valid_ledger(self, tmp_path):
+        """Chaos SIGKILLs every unit's first dispatch; the ledger must
+        record the redispatches and stay schema-valid end to end."""
+        from repro.chaos import ChaosPlan
+        path = str(tmp_path / "run.jsonl")
+        runner = _smoke_runner(
+            ledger_path=path, jobs=2,
+            chaos=ChaosPlan(seed=7, rates={"kill": 1.0}))
+        runner.run()
+        assert runner.stats.redispatched > 0
+        events = read_ledger(path)
+        assert validate_ledger(events) == []
+        types = [e["type"] for e in events]
+        assert "unit_redispatch" in types
+        assert status_totals(events) == {"ok": 2}
+        # resume-from-seq across the whole chaotic stream
+        follower = LedgerFollower(path, last_seq=events[3]["seq"])
+        assert [e["seq"] for e in follower.poll()] \
+            == [e["seq"] for e in events[4:]]
+
+    def test_interrupted_sweep_gets_terminal_event(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+
+        def die(key, record):
+            raise KeyboardInterrupt
+
+        runner = _smoke_runner(ledger_path=path, on_unit_done=die)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run()
+        events = read_ledger(path)
+        assert events[-1]["type"] == "sweep_end"
+        assert events[-1]["attrs"]["status"] == "interrupted"
+
+    def test_rotated_ledger_validates_with_gaps_allowed(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        runner = _smoke_runner(ledger_path=path, max_sink_bytes=512)
+        runner.run()
+        assert len(ledger_segments(path)) > 1
+        events = read_ledger(path)
+        assert validate_ledger(events, allow_gaps=True) == []
+        assert events[-1]["type"] == "sweep_end"
+
+
+# ---------------------------------------------------------------------------
+# obs watch
+# ---------------------------------------------------------------------------
+
+class TestWatch:
+    def _finished_ledger(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        _smoke_runner(ledger_path=path).run()
+        return path
+
+    def test_once_snapshot_of_finished_sweep(self, tmp_path):
+        from repro.obs.live import watch
+        path = self._finished_ledger(tmp_path)
+        frames = []
+        assert watch(path, once=True, write=frames.append) == 0
+        screen = "\n".join(frames)
+        assert "ENDED (ok)" in screen
+        assert "2/2 units" in screen
+        assert "fig09::ATA" in screen and "fig09::VEC" in screen
+
+    def test_once_without_ledger_exits_2(self, tmp_path):
+        from repro.obs.live import watch
+        frames = []
+        code = watch(str(tmp_path / "none.jsonl"), once=True,
+                     write=frames.append)
+        assert code == 2
+        assert "no ledger" in frames[0]
+
+    def test_live_mode_exits_on_sweep_end(self, tmp_path):
+        from repro.obs.live import watch
+        path = self._finished_ledger(tmp_path)
+        frames, naps = [], []
+        code = watch(path, interval_s=0.01, write=frames.append,
+                     sleep=naps.append, max_polls=50)
+        assert code == 0
+        assert naps == []                    # ended on the first frame
+        assert "ENDED (ok)" in frames[-1]
+
+    def test_mid_write_snapshot_does_not_corrupt(self, tmp_path):
+        """--once against a ledger whose writer is mid-line: the torn
+        tail renders as not-yet-arrived and the file is untouched."""
+        from repro.obs.live import watch
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path, meta={"experiments": ["fig09"]})
+        ledger.emit("sweep_begin", jobs=2)
+        ledger.emit("sweep_plan", units=2, skipped=0)
+        ledger.emit("unit_scheduled", "fig09::ATA")
+        ledger.emit("unit_started", "fig09::ATA")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 6, "type": "unit_co')   # torn tail
+        before = open(path, "rb").read()
+        frames = []
+        assert watch(path, once=True, write=frames.append) == 0
+        screen = "\n".join(frames)
+        assert "RUNNING" in screen
+        assert "fig09::ATA" in screen and "running" in screen
+        assert open(path, "rb").read() == before      # reader never writes
+        ledger.close()
+
+    def test_dashboard_eta_and_straggler_mark(self):
+        from repro.obs.live import RunState, render_dashboard
+        state = RunState()
+        base = 1000.0
+        events = [
+            {"seq": 1, "ts": base, "type": "ledger_open", "key": None,
+             "attrs": {"meta": {"experiments": ["fig09"]}}},
+            {"seq": 2, "ts": base, "type": "sweep_begin", "key": None,
+             "attrs": {"jobs": 2}},
+            {"seq": 3, "ts": base, "type": "sweep_plan", "key": None,
+             "attrs": {"units": 3, "skipped": 0}},
+        ]
+        for i, key in enumerate(("a", "b", "slow")):
+            events.append({"seq": 4 + i, "ts": base, "key": key,
+                           "type": "unit_scheduled", "attrs": {}})
+            events.append({"seq": 7 + i, "ts": base + i, "key": key,
+                           "type": "unit_started", "attrs": {}})
+        for i, key in enumerate(("a", "b")):
+            events.append({"seq": 10 + i, "ts": base + 5, "key": key,
+                           "type": "unit_completed",
+                           "attrs": {"status": "ok", "attempts": 1,
+                                     "unit_wall_s": 2.0}})
+        state.fold_all(events)
+        est, unc = state.eta_s()
+        assert est == pytest.approx(1.0)     # 1 unit x median 2s / 2 jobs
+        assert unc == pytest.approx(0.0)
+        # "slow" has run 200s against a 30s straggler floor -> flagged
+        screen = render_dashboard(state, now=base + 202, max_rows=10)
+        slow_row = next(line for line in screen.splitlines()
+                        if line.startswith("slow"))
+        assert "!" in slow_row and "straggling" in slow_row
+        assert "ETA" in screen
+
+    def test_closed_pipe_is_a_clean_exit(self, tmp_path):
+        """`obs watch ... | head` closes stdout early; the watcher must
+        exit 0, not traceback."""
+        from repro.obs.live import watch
+        path = self._finished_ledger(tmp_path)
+
+        def broken(text):
+            raise BrokenPipeError
+
+        assert watch(path, once=True, write=broken) == 0
+        assert watch(path, interval_s=0.01, write=broken,
+                     sleep=lambda s: None, max_polls=3) == 0
+
+    def test_watch_cli_once(self, tmp_path, capsys):
+        from repro.__main__ import main
+        path = self._finished_ledger(tmp_path)
+        assert main(["obs", "watch", path, "--once"]) == 0
+        assert "ENDED (ok)" in capsys.readouterr().out
+
+    def test_watch_cli_rejects_bad_interval(self, tmp_path):
+        from repro.__main__ import main
+        assert main(["obs", "watch", str(tmp_path / "x.jsonl"),
+                     "--once", "--interval", "0"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# obs diff
+# ---------------------------------------------------------------------------
+
+class TestDiff:
+    def test_ledger_self_compare_is_clean(self, tmp_path):
+        from repro.obs.diff import diff_ledgers, gate_exit_code
+        path = str(tmp_path / "run.jsonl")
+        _smoke_runner(ledger_path=path).run()
+        events = read_ledger(path)
+        deltas = diff_ledgers(events, events)
+        assert all(d.verdict == "ok" for d in deltas)
+        assert gate_exit_code(deltas, gate=True) == 0
+
+    def test_ledger_diff_flags_lifecycle_changes(self, tmp_path):
+        from repro.obs.diff import diff_ledgers
+        old = RunLedger()
+        new = RunLedger()
+        for ledger in (old, new):
+            ledger.emit("sweep_begin", jobs=1)
+            ledger.emit("unit_completed", "fig09::ATA", status="ok",
+                        attempts=1)
+        new.emit("unit_retry", "fig09::VEC", attempt=2)   # only in new
+        old.emit("unit_completed", "fig09::BFS", status="ok", attempts=1)
+        new.emit("unit_completed", "fig09::BFS", status="failed",
+                 attempts=3)
+        verdicts = {d.name: d.verdict
+                    for d in diff_ledgers(old.events, new.events)}
+        assert verdicts["fig09::ATA"] == "ok"
+        assert verdicts["fig09::VEC"] == "new"
+        assert verdicts["fig09::BFS"] == "changed"
+
+    def test_trace_diff_verdicts(self):
+        from repro.obs.diff import diff_traces
+
+        def unit(key, wall, children=()):
+            return {"name": "unit", "attrs": {"key": key},
+                    "wall_s": wall, "cpu_s": wall,
+                    "children": list(children)}
+
+        old = [{"name": "sweep", "attrs": {}, "wall_s": 3.0, "cpu_s": 3.0,
+                "children": [unit("a", 1.0), unit("gone", 1.0)]}]
+        new = [{"name": "sweep", "attrs": {}, "wall_s": 9.0, "cpu_s": 9.0,
+                "children": [unit("a", 2.0), unit("fresh", 1.0)]}]
+        verdicts = {d.name: d.verdict for d in diff_traces(old, new)}
+        assert verdicts["sweep/unit[a]"] == "regression"   # 1.0 -> 2.0
+        assert verdicts["sweep/unit[gone]"] == "missing"
+        assert verdicts["sweep/unit[fresh]"] == "new"
+        # below the absolute floor: jitter, not a verdict
+        calm = {d.name: d.verdict
+                for d in diff_traces([unit("a", 0.010)],
+                                     [unit("a", 0.014)])}
+        assert calm["unit[a]"] == "ok"
+
+    def test_trace_calls_mismatch_is_changed_not_timing(self):
+        from repro.obs.diff import diff_traces
+        span = {"name": "attempt", "attrs": {}, "wall_s": 1.0,
+                "cpu_s": 1.0, "children": []}
+        old = [dict(span)]
+        new = [dict(span), dict(span)]       # a retry appeared
+        (delta,) = diff_traces(old, new)
+        assert delta.verdict == "changed"
+        assert "calls 1 -> 2" in delta.detail
+
+    def test_metrics_diff_skips_volatile_families(self):
+        from repro.obs.diff import diff_metrics
+
+        def snapshot(value, rss):
+            return {"families": {
+                "app_runs_total": {"kind": "counter", "series": [
+                    {"labels": {"app": "VEC"}, "value": value}]},
+                "unit_peak_rss_bytes": {"kind": "gauge", "series": [
+                    {"labels": {}, "value": rss}]},
+            }}
+
+        deltas = diff_metrics(snapshot(1, 100), snapshot(2, 999))
+        assert [(d.name, d.verdict) for d in deltas] \
+            == [("app_runs_total{app=VEC}", "changed")]
+
+    def test_diff_cli_self_compare_and_gate(self, tmp_path, capsys):
+        from repro.__main__ import main
+        path = str(tmp_path / "run.jsonl")
+        _smoke_runner(ledger_path=path).run()
+        code = main(["obs", "diff", "--ledger", path, path, "--gate"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 gating difference(s)" in out
+
+    def test_diff_cli_requires_a_pair(self, capsys):
+        from repro.__main__ import main
+        assert main(["obs", "diff"]) == 2
+        assert "at least one" in capsys.readouterr().err.lower()
+
+    def test_diff_cli_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+        missing = str(tmp_path / "none.jsonl")
+        assert main(["obs", "diff", "--ledger", missing, missing]) == 2

@@ -393,17 +393,22 @@ class TestRunnerObservability:
         assert runner.metrics.value("app_runs_total",
                                     {"app": "ATA"}) is None
 
-    def test_worker_progress_line_uses_span_duration(self, capfd):
+    def test_worker_is_silent_and_ships_progress_facts(self, capfd):
+        """Workers no longer print progress to stderr; the facts the old
+        line carried (duration, worker pid) now ride home inside the
+        record so the parent can put them on the run ledger."""
+        import os
         from repro.runner.pool import UnitTask, execute_unit_task
         task = UnitTask(exp_id="sec3.1-leakage", app=None,
                         key="sec3.1-leakage::*")
         key, record = execute_unit_task(task)
         assert key == "sec3.1-leakage::*"
-        err = capfd.readouterr().err
-        match = re.search(
-            r"\[worker \d+\] ok sec3\.1-leakage::\* in (\d+\.\d{3})s", err)
-        assert match, err
-        assert float(match.group(1)) == record["unit_wall_s"]
+        assert capfd.readouterr().err == ""
+        assert record["unit_wall_s"] >= 0
+        assert record["pid"] == os.getpid()
+        assert record["timeouts"] == 0
+        assert record["memo_hits"] >= 0
+        assert record["memo_misses"] >= 0
 
 
 # ---------------------------------------------------------------------------
