@@ -20,6 +20,7 @@ Usage::
     python -m repro obs watch run.jsonl --once      # one snapshot
     python -m repro obs diff --trace old.jsonl new.jsonl --gate
     python -m repro obs diff --ledger old.jsonl new.jsonl
+    python -m repro obs serve --dir runs/ --port 8377  # HTTP + SSE
     python -m repro bench run --suite smoke        # BENCH_<ts>.json
     python -m repro bench hotspots t.jsonl --folded out.folded
     python -m repro bench compare old.json new.json --gate
@@ -239,8 +240,22 @@ def _cmd_obs_watch(args) -> int:
     if args.interval <= 0:
         print("--interval must be > 0", file=sys.stderr)
         return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("--timeout must be > 0", file=sys.stderr)
+        return 2
     return watch(args.ledger, once=args.once, interval_s=args.interval,
-                 max_rows=args.max_rows)
+                 max_rows=args.max_rows, wait=args.wait,
+                 timeout_s=args.timeout)
+
+
+def _cmd_obs_serve(args) -> int:
+    from .obs.serve import serve
+    if args.poll_interval <= 0:
+        print("--poll-interval must be > 0", file=sys.stderr)
+        return 2
+    return serve(args.dir, host=args.host, port=args.port,
+                 poll_interval_s=args.poll_interval,
+                 heartbeat_s=args.heartbeat, verbose=args.verbose)
 
 
 def _cmd_obs_diff(args) -> int:
@@ -260,7 +275,12 @@ def _cmd_obs_diff(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"obs diff: {exc}", file=sys.stderr)
         return 2
-    print(render_diff_table(deltas, show_ok=args.show_ok))
+    if args.json:
+        import json
+        from .obs.diff import diff_to_dict
+        print(json.dumps(diff_to_dict(deltas), sort_keys=True, indent=1))
+    else:
+        print(render_diff_table(deltas, show_ok=args.show_ok))
     code = gate_exit_code(deltas, args.gate)
     if code:
         print("obs diff gate FAILED", file=sys.stderr)
@@ -278,8 +298,19 @@ def _cmd_obs_report(args) -> int:
             print(f"cannot read metrics snapshot {args.metrics!r}: {exc}",
                   file=sys.stderr)
             return 2
+        if args.prometheus:
+            from .obs.metrics import MetricsRegistry
+            # write(), not print(): to_prometheus() already ends with
+            # a newline, and the output must stay byte-identical to
+            # the /metrics body of ``obs serve``.
+            sys.stdout.write(
+                MetricsRegistry.from_dict(snapshot).to_prometheus())
+            return 0
         print(render_metrics_summary(snapshot))
         return 0
+    if args.prometheus:
+        print("--prometheus needs --metrics PATH", file=sys.stderr)
+        return 2
 
     from .obs.report import provenance_report
     apps = _resolve_apps(args.apps or OBS_REPORT_DEFAULT_APPS)
@@ -301,7 +332,8 @@ def _cmd_obs_report(args) -> int:
 
 def cmd_obs(args) -> int:
     handler = {"tree": _cmd_obs_tree, "watch": _cmd_obs_watch,
-               "diff": _cmd_obs_diff, "report": _cmd_obs_report}
+               "diff": _cmd_obs_diff, "report": _cmd_obs_report,
+               "serve": _cmd_obs_serve}
     return handler[args.obs_command](args)
 
 
@@ -597,6 +629,11 @@ def main(argv=None) -> int:
                           help="instead summarise a --metrics-out JSON "
                                "snapshot (histograms show count/sum/"
                                "p50/p95/p99)")
+    report_p.add_argument("--prometheus", action="store_true",
+                          help="with --metrics: emit the snapshot in "
+                               "Prometheus text exposition format "
+                               "(byte-identical to 'obs serve' "
+                               "/metrics)")
     tree_p = obs_sub.add_parser(
         "tree", help="render a --trace JSONL dump as an indented tree")
     tree_p.add_argument("trace", metavar="TRACE.jsonl")
@@ -622,6 +659,13 @@ def main(argv=None) -> int:
     watch_p.add_argument("--max-rows", type=int, default=24, metavar="N",
                          help="unit rows to show, live work first "
                               "(default: 24; 0 = all)")
+    watch_p.add_argument("--wait", action="store_true",
+                         help="poll until the ledger appears instead of "
+                              "exiting 2 when it does not exist yet")
+    watch_p.add_argument("--timeout", type=float, default=None,
+                         metavar="S",
+                         help="with --wait: give up (exit 2) after S "
+                              "seconds without a ledger")
     diff_p = obs_sub.add_parser(
         "diff", help="cross-run comparator: align two runs' traces, "
                      "metrics snapshots, and/or ledgers and grade the "
@@ -651,6 +695,32 @@ def main(argv=None) -> int:
                              "(default: 0.05)")
     diff_p.add_argument("--show-ok", action="store_true",
                         help="list ok identities too, not just counts")
+    diff_p.add_argument("--json", action="store_true",
+                        help="emit the deltas as machine-readable JSON "
+                             "instead of the table")
+
+    serve_p = obs_sub.add_parser(
+        "serve", help="zero-dependency HTTP telemetry service over a "
+                      "runs directory: /runs /status /metrics (Prom "
+                      "0.0.4) /events (SSE, Last-Event-ID resume) "
+                      "/diff")
+    serve_p.add_argument("--dir", default=".", metavar="DIR",
+                         help="runs directory to index and serve "
+                              "(default: .)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8377, metavar="N",
+                         help="bind port (default: 8377; 0 = ephemeral)")
+    serve_p.add_argument("--poll-interval", type=float, default=0.25,
+                         metavar="S",
+                         help="ledger poll cadence for SSE streams in "
+                              "seconds (default: 0.25)")
+    serve_p.add_argument("--heartbeat", type=float, default=15.0,
+                         metavar="S",
+                         help="SSE keep-alive comment cadence in "
+                              "seconds (default: 15)")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log each request to stderr")
 
     bench_p = sub.add_parser(
         "bench", help="continuous benchmarking: run suites, attribute "

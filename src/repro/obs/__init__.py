@@ -17,13 +17,21 @@ Three first-class artifacts, threaded through the whole stack:
   reproduce :meth:`~repro.power.chip.ChipModel.evaluate` exactly.
 * **live run ledger** (:mod:`~repro.obs.ledger`): an append-only JSONL
   stream of typed, monotonically sequenced sweep lifecycle events,
-  tailed by :mod:`~repro.obs.live` (``repro obs watch``) and compared
-  across runs by :mod:`~repro.obs.diff` (``repro obs diff``).
+  tailed by :mod:`~repro.obs.live` (``repro obs watch``), compared
+  across runs by :mod:`~repro.obs.diff` (``repro obs diff``), and
+  fanned out to many clients by :class:`~repro.obs.ledger.LedgerHub`.
+* **telemetry service** (:mod:`~repro.obs.serve` over
+  :mod:`~repro.obs.runindex`): a stdlib-only HTTP server (``repro obs
+  serve``) exposing a cross-run catalog (``/runs``), folded run state
+  (``/status``), Prometheus metrics (``/metrics``), live SSE event
+  streams with ``Last-Event-ID`` resume (``/events``), and the
+  cross-run comparator (``/diff``).
 
 CLI: ``repro obs report`` (provenance tables), ``repro obs tree``
 (render a trace), ``repro obs watch`` (live dashboard over a ledger),
-``repro obs diff`` (cross-run comparator), and ``--trace``/
-``--metrics-out``/``--ledger`` on ``repro run``.
+``repro obs diff`` (cross-run comparator), ``repro obs serve`` (HTTP
+telemetry service), and ``--trace``/``--metrics-out``/``--ledger`` on
+``repro run``.
 """
 
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
@@ -49,10 +57,15 @@ _LAZY = {
     "RotatingJsonlSink": "ledger", "read_ledger": "ledger",
     "read_jsonl_segments": "ledger", "normalize_events": "ledger",
     "validate_ledger": "ledger",
+    "LedgerHub": "ledger", "LedgerSubscription": "ledger",
     "RunState": "live", "render_dashboard": "live", "watch": "live",
+    "load_run_state": "live",
     "PathDelta": "diff", "diff_paths": "diff", "diff_traces": "diff",
     "diff_metrics": "diff", "diff_ledgers": "diff",
-    "render_diff_table": "diff",
+    "render_diff_table": "diff", "diff_to_dict": "diff",
+    "RunIndex": "runindex", "classify_artifact": "runindex",
+    "run_id_for": "runindex",
+    "ObsHTTPServer": "serve", "serve": "serve",
 }
 
 
@@ -83,7 +96,10 @@ __all__ = [
     "LEDGER_SCHEMA_VERSION", "EVENT_TYPES", "RunLedger",
     "LedgerFollower", "RotatingJsonlSink", "read_ledger",
     "read_jsonl_segments", "normalize_events", "validate_ledger",
-    "RunState", "render_dashboard", "watch",
+    "LedgerHub", "LedgerSubscription",
+    "RunState", "render_dashboard", "watch", "load_run_state",
     "PathDelta", "diff_paths", "diff_traces", "diff_metrics",
-    "diff_ledgers", "render_diff_table",
+    "diff_ledgers", "render_diff_table", "diff_to_dict",
+    "RunIndex", "classify_artifact", "run_id_for",
+    "ObsHTTPServer", "serve",
 ]

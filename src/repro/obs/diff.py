@@ -42,7 +42,7 @@ from .tracer import jsonl_to_trees
 
 __all__ = [
     "DIFF_VERDICTS", "PathDelta", "aggregate_trace", "diff_traces",
-    "diff_metrics", "diff_ledgers", "render_diff_table",
+    "diff_metrics", "diff_ledgers", "render_diff_table", "diff_to_dict",
     "gate_exit_code", "DEFAULT_REL_THRESHOLD", "DEFAULT_ABS_FLOOR_S",
 ]
 
@@ -355,6 +355,26 @@ def render_diff_table(deltas: List[PathDelta],
     lines.append(f"{gating} gating difference(s) "
                  f"across {len(deltas)} aligned identities")
     return "\n".join(lines)
+
+
+def diff_to_dict(deltas: List[PathDelta]) -> dict:
+    """Machine-readable render of a delta list.
+
+    The JSON counterpart of :func:`render_diff_table` — the payload
+    ``repro obs serve`` answers ``GET /diff`` with and ``obs diff
+    --json`` prints, so scripted consumers never scrape the table.
+    """
+    verdicts: Dict[str, int] = {}
+    for delta in deltas:
+        verdicts[delta.verdict] = verdicts.get(delta.verdict, 0) + 1
+    return {
+        "deltas": [{"kind": d.kind, "name": d.name, "verdict": d.verdict,
+                    "old": d.old, "new": d.new, "detail": d.detail,
+                    "gates": d.gates} for d in deltas],
+        "verdicts": verdicts,
+        "aligned": len(deltas),
+        "gating": sum(1 for d in deltas if d.gates),
+    }
 
 
 def gate_exit_code(deltas: List[PathDelta], gate: bool) -> int:

@@ -7,9 +7,13 @@ tailed read-only through :class:`~repro.obs.ledger.LedgerFollower`, so
 watching a live sweep cannot block or corrupt it.
 
 :class:`RunState` is the pure part: fold ledger events into per-unit
-state and sweep-level aggregates; :func:`render_dashboard` turns one
-state into the screenful; :func:`watch` is the poll/redraw loop with
-``--once`` snapshot mode. The ETA uses the median completed-unit wall
+state and sweep-level aggregates. Both front ends share it —
+:func:`render_dashboard` turns one state into the terminal screenful
+for ``obs watch``, and :meth:`RunState.snapshot` turns the same state
+into the JSON payload ``repro obs serve`` answers ``GET /status``
+with — so the dashboard and the HTTP service can never disagree about
+what a ledger means. :func:`watch` is the poll/redraw loop with
+``--once`` snapshot mode and ``--wait`` appearance polling. The ETA uses the median completed-unit wall
 time with a MAD-derived uncertainty band — the same robust statistics
 the pool's straggler detector and the bench gate already use — and the
 straggler highlight mirrors the pool's threshold
@@ -23,10 +27,10 @@ import time
 from statistics import median
 from typing import Callable, Dict, List, Optional
 
-from .ledger import LedgerFollower, ledger_segments
+from .ledger import LedgerFollower, ledger_segments, read_ledger
 
 __all__ = ["RunState", "UnitView", "render_dashboard", "watch",
-           "DEFAULT_INTERVAL_S", "DEFAULT_MAX_ROWS"]
+           "load_run_state", "DEFAULT_INTERVAL_S", "DEFAULT_MAX_ROWS"]
 
 DEFAULT_INTERVAL_S = 1.0
 DEFAULT_MAX_ROWS = 24
@@ -239,6 +243,69 @@ class RunState:
             return False
         return ref - view.started_ts > limit
 
+    # -- serialization ----------------------------------------------------
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """JSON-safe view of the whole run state.
+
+        This is the ``GET /status`` payload of ``repro obs serve`` —
+        the same folded state the dashboard renders, as data instead
+        of a screenful: sweep aggregates (throughput, the median/MAD
+        ETA band, memo/chaos/checkpoint counters) plus one row per
+        unit with its lifecycle state and the live straggler verdict.
+        """
+        now = now if now is not None else time.time()
+        counts = self.counts()
+        eta = self.eta_s()
+        elapsed = None
+        if self.begun_ts is not None:
+            end = self.ended_ts if self.ended_ts is not None else now
+            elapsed = end - self.begun_ts
+        units = []
+        for key in sorted(self.units):
+            view = self.units[key]
+            wall = view.wall_s
+            if wall is None and view.started_ts is not None and \
+                    view.state in ("running", "retrying"):
+                wall = now - view.started_ts
+            units.append({
+                "key": view.key, "state": view.state,
+                "attempts": view.attempts, "dispatches": view.dispatches,
+                "wall_s": None if wall is None else round(wall, 6),
+                "note": view.note,
+                "straggling": self.is_straggling(view, now),
+            })
+        done = (counts.get("ok", 0) + counts.get("failed", 0)
+                + counts.get("quarantined", 0))
+        rate = self.throughput(now)
+        return {
+            "meta": self.meta, "jobs": self.jobs,
+            "planned": self.planned, "skipped": self.skipped,
+            "begun_ts": self.begun_ts, "ended_ts": self.ended_ts,
+            "end_status": self.end_status, "last_seq": self.last_seq,
+            "events_seen": self.events_seen,
+            "elapsed_s": None if elapsed is None else round(elapsed, 6),
+            "counts": counts, "done": done, "total": len(self.units),
+            "throughput_units_per_s": (None if rate is None
+                                       else round(rate, 6)),
+            "eta_s": None if eta is None else round(eta[0], 6),
+            "eta_uncertainty_s": None if eta is None else round(eta[1], 6),
+            "straggler_limit_s": self.straggler_limit_s(),
+            "memo_hits": self.memo_hits, "memo_misses": self.memo_misses,
+            "chaos_injected": self.chaos_injected,
+            "checkpoint_flushes": self.checkpoint_flushes,
+            "checkpoint_failures": self.checkpoint_failures,
+            "units": units,
+        }
+
+
+def load_run_state(path: str) -> RunState:
+    """Fold a whole on-disk ledger (rotated segments included) into a
+    fresh :class:`RunState` — the one-shot counterpart of tailing."""
+    state = RunState()
+    state.fold_all(read_ledger(path))
+    return state
+
 
 # ---------------------------------------------------------------------------
 # Rendering
@@ -351,17 +418,43 @@ def watch(path: str, once: bool = False,
           write: Callable[[str], None] = None,
           sleep: Callable[[float], None] = time.sleep,
           clock: Callable[[], float] = time.time,
-          max_polls: Optional[int] = None) -> int:
+          max_polls: Optional[int] = None,
+          wait: bool = False,
+          timeout_s: Optional[float] = None) -> int:
     """Tail a ledger and redraw the dashboard until the sweep ends.
 
     Returns a CLI exit code: 0 after a clean ``sweep_end`` (or a
-    ``--once`` snapshot of a usable ledger), 2 when ``--once`` finds
-    no ledger to read. Live mode waits for the ledger to appear, so a
-    watcher may be started *before* the sweep. ``write``/``sleep``/
-    ``clock``/``max_polls`` are test injection points.
+    ``--once`` snapshot of a usable ledger), 2 when the ledger does
+    not exist. A missing ledger is a detectable condition, not a
+    silent stall: without ``wait`` the watcher reports it and exits 2
+    immediately (so a script launching sweep + watcher can tell "not
+    yet" from "watching"); with ``wait`` it polls for the file to
+    appear — bounded by ``timeout_s`` when given — and only then
+    starts tailing, which is how a watcher is started *before* the
+    sweep. ``write``/``sleep``/``clock``/``max_polls`` are test
+    injection points.
     """
     import sys
     write = write or (lambda text: print(text, file=sys.stdout, flush=True))
+    try:
+        if not ledger_segments(path):
+            if not wait:
+                write(f"obs watch: no ledger at {path} "
+                      f"(--wait polls for it)")
+                return 2
+            deadline = (clock() + timeout_s
+                        if timeout_s is not None else None)
+            while not ledger_segments(path):
+                if deadline is not None and clock() >= deadline:
+                    write(f"obs watch: no ledger at {path} after "
+                          f"waiting {timeout_s:g}s")
+                    return 2
+                try:
+                    sleep(interval_s)
+                except KeyboardInterrupt:
+                    return 2
+    except BrokenPipeError:
+        return 0
     follower = LedgerFollower(path)
     state = RunState()
     polls = 0

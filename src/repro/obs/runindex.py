@@ -1,0 +1,314 @@
+"""Cross-run index: discover and catalog observability artifacts.
+
+A runs directory accumulates heterogeneous files as sweeps execute:
+run ledgers (``--ledger``), merged trace dumps (``--trace``), metrics
+snapshots (``--metrics-out``), and the committed history records the
+bench and fidelity harnesses write (``BENCH_*.json`` /
+``FIDELITY_*.json``). The index is the read-only catalog over that
+directory — the thing ``repro obs serve`` answers ``GET /runs`` from —
+built by *content sniffing*, never by trusting file names: the first
+parseable line decides whether a ``.jsonl`` file is a ledger (it has
+``seq`` + ``type``) or a span trace (it has ``name`` + ``wall_s``),
+and a ``.json`` file is classified by its envelope (``families`` for
+a metrics snapshot, the ``schema`` tag for bench/fidelity records).
+
+Artifacts group into runs by *run id* — the file stem with the
+conventional ``.trace`` / ``.metrics`` / ``.ledger`` qualifier
+stripped — so ``inject.jsonl`` + ``inject.trace.jsonl`` +
+``inject.metrics.json`` catalog as the single run ``inject`` with all
+three artifacts attached. Timestamps come from the artifacts
+themselves (the ``ledger_open`` event's wall clock, a record's
+``created_utc``), falling back to the file mtime, so a rsync'd runs
+directory still sorts honestly.
+
+Everything here is stdlib-only and read-only, like the watcher: the
+index must be usable on a login node against a directory a live sweep
+is writing into.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .ledger import ledger_segments, parse_ledger_text
+
+__all__ = ["ArtifactInfo", "RunEntry", "RecordEntry", "RunIndex",
+           "classify_artifact", "run_id_for"]
+
+#: Stem qualifiers that bind a sibling artifact to its run.
+_RUN_QUALIFIERS = (".trace", ".metrics", ".ledger", ".run")
+
+#: Record schemas the index catalogs (the two history families).
+_RECORD_SCHEMAS = {"repro-bench": "bench", "repro-fidelity": "fidelity"}
+
+
+@dataclass
+class ArtifactInfo:
+    """One classified file: what it is and where it lives."""
+
+    kind: str                     # ledger | trace | metrics
+    path: str
+    mtime: float
+    size_bytes: int
+
+
+@dataclass
+class RunEntry:
+    """All artifacts of one run id, plus cheap ledger-derived facts."""
+
+    run_id: str
+    ledger: Optional[ArtifactInfo] = None
+    trace: Optional[ArtifactInfo] = None
+    metrics: Optional[ArtifactInfo] = None
+    created_ts: Optional[float] = None   # ledger_open wall clock
+    updated_ts: Optional[float] = None   # newest artifact mtime
+    status: Optional[str] = None         # ok | failed | running | ...
+    last_seq: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        def _info(info: Optional[ArtifactInfo]) -> Optional[dict]:
+            if info is None:
+                return None
+            return {"path": os.path.basename(info.path),
+                    "size_bytes": info.size_bytes}
+
+        return {"run_id": self.run_id,
+                "created_ts": self.created_ts,
+                "updated_ts": self.updated_ts,
+                "status": self.status,
+                "last_seq": self.last_seq,
+                "meta": self.meta,
+                "artifacts": {"ledger": _info(self.ledger),
+                              "trace": _info(self.trace),
+                              "metrics": _info(self.metrics)}}
+
+
+@dataclass
+class RecordEntry:
+    """One committed BENCH/FIDELITY history record."""
+
+    record_id: str                # file stem, e.g. BENCH_20260808T...
+    kind: str                     # bench | fidelity
+    path: str
+    created_utc: Optional[str] = None
+    entries: int = 0              # scenarios / claims in the payload
+
+    def to_dict(self) -> dict:
+        return {"record_id": self.record_id, "kind": self.kind,
+                "path": os.path.basename(self.path),
+                "created_utc": self.created_utc,
+                "entries": self.entries}
+
+
+def run_id_for(path: str) -> str:
+    """The run id a file stem implies (qualifiers stripped)."""
+    stem = os.path.basename(path)
+    stem = stem[:stem.rfind(".")] if "." in stem else stem
+    for qualifier in _RUN_QUALIFIERS:
+        if stem.endswith(qualifier) and len(stem) > len(qualifier):
+            return stem[:-len(qualifier)]
+    return stem
+
+
+def _first_line(path: str, limit: int = 65536) -> Optional[str]:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            line = fh.readline(limit)
+    except OSError:
+        return None
+    return line.strip() or None
+
+
+def _tail_lines(path: str, byte_window: int = 8192) -> List[str]:
+    """Complete lines inside the last ``byte_window`` bytes of a file."""
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            fh.seek(max(0, size - byte_window))
+            data = fh.read()
+    except OSError:
+        return []
+    text = data.decode("utf-8", errors="replace")
+    lines = text.splitlines()
+    # A window that starts mid-line yields a torn first fragment;
+    # a writer mid-write leaves a torn last one. Parsing tolerates
+    # both — each candidate must decode as standalone JSON anyway.
+    return [line for line in lines if line.strip()]
+
+
+def classify_artifact(path: str) -> Optional[str]:
+    """``ledger`` / ``trace`` / ``metrics`` / ``bench`` / ``fidelity``
+    for a recognized artifact file, None for anything else.
+
+    Sniffs content, never the name: a rotated segment (``*.jsonl.1``)
+    or a checkpoint JSON classifies as None here — segments are
+    reached through their base path, checkpoints are the runner's
+    business.
+    """
+    if path.endswith(".jsonl"):
+        line = _first_line(path)
+        if line is None:
+            return None
+        try:
+            head = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(head, dict):
+            return None
+        if "seq" in head and "type" in head:
+            return "ledger"
+        if head.get("type") == "span" and "name" in head:
+            return "trace"
+        return None
+    if path.endswith(".json"):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        schema = payload.get("schema")
+        if schema in _RECORD_SCHEMAS:
+            return _RECORD_SCHEMAS[schema]
+        if isinstance(payload.get("families"), dict):
+            return "metrics"
+        return None
+    return None
+
+
+class RunIndex:
+    """Catalog of one runs directory; :meth:`refresh` rescans it.
+
+    The scan is shallow (one directory level) and tolerant: unreadable
+    or unrecognized files are skipped, a ledger mid-write contributes
+    whatever its complete lines say. ``runs`` maps run id →
+    :class:`RunEntry`; ``records`` holds the BENCH/FIDELITY history
+    newest-first.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.runs: Dict[str, RunEntry] = {}
+        self.records: List[RecordEntry] = []
+        self.refresh()
+
+    # -- scanning --------------------------------------------------------
+
+    def refresh(self) -> "RunIndex":
+        runs: Dict[str, RunEntry] = {}
+        records: List[RecordEntry] = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            names = []
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if not os.path.isfile(path):
+                continue
+            kind = classify_artifact(path)
+            if kind is None:
+                continue
+            if kind in ("bench", "fidelity"):
+                records.append(self._record_entry(path, kind))
+                continue
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            info = ArtifactInfo(kind=kind, path=path, mtime=stat.st_mtime,
+                                size_bytes=stat.st_size)
+            run_id = run_id_for(path)
+            entry = runs.get(run_id)
+            if entry is None:
+                entry = runs[run_id] = RunEntry(run_id=run_id)
+            setattr(entry, kind, info)
+            entry.updated_ts = max(entry.updated_ts or 0.0, info.mtime)
+        for entry in runs.values():
+            if entry.ledger is not None:
+                self._fold_ledger_facts(entry)
+        records.sort(key=lambda r: (r.created_utc or "", r.record_id),
+                     reverse=True)
+        self.runs = runs
+        self.records = records
+        return self
+
+    def _record_entry(self, path: str, kind: str) -> RecordEntry:
+        stem = os.path.basename(path)
+        stem = stem[:stem.rfind(".")] if "." in stem else stem
+        created, entries = None, 0
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            created = payload.get("created_utc")
+            table = payload.get("scenarios" if kind == "bench"
+                                else "claims")
+            if isinstance(table, dict):
+                entries = len(table)
+        except (OSError, json.JSONDecodeError):
+            pass
+        return RecordEntry(record_id=stem, kind=kind, path=path,
+                           created_utc=created, entries=entries)
+
+    def _fold_ledger_facts(self, entry: RunEntry) -> None:
+        """Cheap head/tail facts of a run's ledger, torn-tail safe.
+
+        Head (the oldest segment's first line) carries ``ledger_open``
+        with the run meta and birth timestamp; the active file's tail
+        window carries the newest sequence number and — when present —
+        the terminal ``sweep_end`` status. No full-ledger read.
+        """
+        path = entry.ledger.path
+        segments = ledger_segments(path)
+        if not segments:
+            return
+        head_line = _first_line(segments[0])
+        if head_line:
+            for event in parse_ledger_text(head_line):
+                if event.get("type") == "ledger_open":
+                    entry.created_ts = event.get("ts")
+                    attrs = event.get("attrs") or {}
+                    meta = attrs.get("meta")
+                    if isinstance(meta, dict):
+                        entry.meta = meta
+        status = "running"
+        for line in _tail_lines(path):
+            for event in parse_ledger_text(line):
+                seq = event.get("seq")
+                if isinstance(seq, int):
+                    entry.last_seq = max(entry.last_seq, seq)
+                if event.get("type") == "sweep_end":
+                    status = (event.get("attrs") or {}).get("status", "ok")
+        entry.status = status
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, run_id: str) -> Optional[RunEntry]:
+        return self.runs.get(run_id)
+
+    def latest_run(self, require: Optional[str] = None
+                   ) -> Optional[RunEntry]:
+        """Most recently updated run, optionally requiring an artifact
+        kind (``"ledger"`` / ``"metrics"`` / ``"trace"``)."""
+        candidates = [entry for entry in self.runs.values()
+                      if require is None
+                      or getattr(entry, require) is not None]
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda e: (e.updated_ts or 0.0, e.run_id))
+
+    def sorted_runs(self) -> List[RunEntry]:
+        """Runs newest-first (by artifact mtime, then id)."""
+        return sorted(self.runs.values(),
+                      key=lambda e: (-(e.updated_ts or 0.0), e.run_id))
+
+    def to_dict(self) -> dict:
+        return {"directory": os.path.abspath(self.directory),
+                "runs": [entry.to_dict() for entry in self.sorted_runs()],
+                "records": [record.to_dict() for record in self.records]}

@@ -219,6 +219,30 @@ class TestLedgerFollower:
         assert [e["seq"] for e in follower.poll()] == [1, 2, 5, 6]
         assert follower.missed == 2
 
+    def test_reconnect_from_stored_seq_across_rotation(self, tmp_path):
+        """A client reconnect mid-stream: the follower is torn down and
+        a new one rebuilt from the stored sequence number (the SSE
+        ``Last-Event-ID`` contract) while the writer keeps appending
+        *and rotates the sink* between the two lives. Every event must
+        arrive exactly once end to end."""
+        path = str(tmp_path / "run.jsonl")
+        ledger = RunLedger(path=path, max_bytes=160)
+        follower = LedgerFollower(path)
+        delivered = [e["seq"] for e in follower.poll()]
+        for i in range(5):
+            ledger.emit("unit_started", f"fig09::u{i}")
+        delivered += [e["seq"] for e in follower.poll()]
+        stored = follower.last_seq               # client's Last-Event-ID
+        del follower                             # connection dropped
+        for i in range(5, 12):                   # writer keeps going...
+            ledger.emit("unit_started", f"fig09::u{i}")
+        ledger.close()
+        assert len(ledger_segments(path)) > 1    # ...and rotated
+        resumed = LedgerFollower(path, last_seq=stored)
+        delivered += [e["seq"] for e in resumed.poll()]
+        assert delivered == list(range(1, 14))   # no dupes, no gaps
+        assert resumed.missed == 0
+
     def test_poll_before_ledger_exists_waits(self, tmp_path):
         path = str(tmp_path / "run.jsonl")
         follower = LedgerFollower(path)      # watcher starts first
